@@ -1,0 +1,57 @@
+"""Ablation: the EWMA smoothing weight α.
+
+The paper chose α = 0.9 because it made the threshold "sufficiently
+smooth". The sweep shows the trade-off: small α lets the threshold
+track per-slot noise (rough series, more reclassification), large α
+reacts too slowly to genuine load shifts.
+"""
+
+import numpy as np
+
+from repro.analysis.churn import ChurnReport
+from repro.analysis.report import format_table
+from repro.core.single_feature import SingleFeatureClassifier
+from repro.core.thresholds import ConstantLoadThreshold
+
+ALPHAS = (0.0, 0.5, 0.8, 0.9, 0.95, 0.99)
+
+
+def sweep_alpha(matrix):
+    rows = []
+    for alpha in ALPHAS:
+        classifier = SingleFeatureClassifier(
+            ConstantLoadThreshold(0.8), alpha=alpha,
+        )
+        result = classifier.classify(matrix)
+        churn = ChurnReport.from_result(result)
+        rows.append({
+            "alpha": alpha,
+            "smoothness": result.thresholds.smoothness(),
+            "transitions": churn.total_transitions,
+            "overlap": churn.class_overlap,
+            "mean_count": float(result.elephants_per_slot().mean()),
+        })
+    return rows
+
+
+def test_alpha_sweep(benchmark, paper_run, report_writer):
+    matrix = paper_run.workloads["west-coast"].matrix
+    rows = benchmark.pedantic(sweep_alpha, args=(matrix,),
+                              rounds=1, iterations=1)
+
+    table = format_table(
+        ["alpha", "threshold roughness", "total transitions",
+         "set overlap", "mean elephants"],
+        [[r["alpha"], f"{r['smoothness']:.4f}", r["transitions"],
+          f"{r['overlap']:.3f}", round(r["mean_count"])] for r in rows],
+        title=("Ablation: EWMA alpha (paper uses 0.9 for a "
+               "'sufficiently smooth' threshold)"),
+    )
+    report_writer("ablation_alpha", table)
+
+    by_alpha = {r["alpha"]: r for r in rows}
+    # Smoothing must monotonically calm the threshold series.
+    roughness = [by_alpha[a]["smoothness"] for a in ALPHAS]
+    assert all(np.diff(roughness) <= 1e-12)
+    # The paper's 0.9 must visibly beat no smoothing on churn.
+    assert by_alpha[0.9]["transitions"] < by_alpha[0.0]["transitions"]

@@ -1,0 +1,48 @@
+"""Ablation: the constant-load fraction β.
+
+The paper fixes β = 0.8 ("0.8-constant load"). The sweep shows what β
+buys: the elephant population grows with the requested coverage and
+the achieved (latent-heat) coverage tracks but undershoots the target,
+exactly as Fig 1(b) reports for 0.8.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.latent_heat import LatentHeatClassifier
+from repro.core.thresholds import ConstantLoadThreshold
+
+BETAS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def sweep_beta(matrix):
+    rows = []
+    for beta in BETAS:
+        classifier = LatentHeatClassifier(ConstantLoadThreshold(beta))
+        result = classifier.classify(matrix)
+        rows.append({
+            "beta": beta,
+            "mean_count": float(result.elephants_per_slot().mean()),
+            "fraction": float(result.traffic_fraction_per_slot().mean()),
+        })
+    return rows
+
+
+def test_beta_sweep(benchmark, paper_run, report_writer):
+    matrix = paper_run.workloads["west-coast"].matrix
+    rows = benchmark.pedantic(sweep_beta, args=(matrix,),
+                              rounds=1, iterations=1)
+
+    table = format_table(
+        ["beta (target)", "mean elephants", "achieved fraction",
+         "shortfall"],
+        [[r["beta"], round(r["mean_count"]), f"{r['fraction']:.2f}",
+          f"{r['beta'] - r['fraction']:+.2f}"] for r in rows],
+        title="Ablation: constant-load beta (paper fixes 0.8)",
+    )
+    report_writer("ablation_beta", table)
+
+    counts = [r["mean_count"] for r in rows]
+    assert all(b <= a * 1.1 for a, b in zip(counts[1:], counts)), \
+        "population must grow with beta"
+    fractions = [r["fraction"] for r in rows]
+    assert all(b >= a - 0.02 for a, b in zip(fractions, fractions[1:])), \
+        "achieved coverage must grow with beta"

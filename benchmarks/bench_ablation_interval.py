@@ -1,0 +1,64 @@
+"""Ablation: the measurement interval T.
+
+The paper reports "similar results" for T of 1 and 10 minutes around
+the 5-minute default. Our fluid matrix is generated at 5-minute
+resolution, so we sweep upwards by rebinning (5, 10, 20 minutes) and
+check the classification outcome is qualitatively unchanged: similar
+traffic fraction, similar elephant population, holding times that
+scale with the slot length rather than collapsing.
+"""
+
+from repro.analysis.holding import HoldingTimeAnalysis
+from repro.analysis.report import format_table
+from repro.core.latent_heat import LatentHeatClassifier
+from repro.core.thresholds import ConstantLoadThreshold
+
+REBIN_FACTORS = (1, 2, 4)
+
+
+def sweep_interval(matrix, busy_hours):
+    rows = []
+    for factor in REBIN_FACTORS:
+        rebinned = matrix.rebin(factor) if factor > 1 else matrix
+        # Keep the latent-heat memory at about one hour of wall time.
+        window = max(1, 12 // factor)
+        classifier = LatentHeatClassifier(
+            ConstantLoadThreshold(0.8), window=window,
+        )
+        result = classifier.classify(rebinned)
+        analysis = HoldingTimeAnalysis.from_result(result,
+                                                   busy_hours=busy_hours)
+        rows.append({
+            "minutes": 5 * factor,
+            "window": window,
+            "mean_count": float(result.elephants_per_slot().mean()),
+            "fraction": float(result.traffic_fraction_per_slot().mean()),
+            "holding_min": analysis.mean_minutes,
+        })
+    return rows
+
+
+def test_interval_sweep(benchmark, paper_run, report_writer):
+    matrix = paper_run.workloads["west-coast"].matrix
+    rows = benchmark.pedantic(
+        sweep_interval, args=(matrix, paper_run.config.busy_hours),
+        rounds=1, iterations=1,
+    )
+
+    table = format_table(
+        ["T (min)", "LH window", "mean elephants", "traffic fraction",
+         "holding (min)"],
+        [[r["minutes"], r["window"], round(r["mean_count"]),
+          f"{r['fraction']:.2f}", f"{r['holding_min']:.0f}"] for r in rows],
+        title=("Ablation: measurement interval (paper: 'similar results' "
+               "for 1 and 10 minutes; generated resolution bounds us "
+               "below at 5)"),
+    )
+    report_writer("ablation_interval", table)
+
+    base = rows[0]
+    for row in rows[1:]:
+        # Similar results: population and coverage within a factor ~2.
+        assert 0.5 < row["mean_count"] / base["mean_count"] < 2.0
+        assert abs(row["fraction"] - base["fraction"]) < 0.15
+        assert 0.4 < row["holding_min"] / base["holding_min"] < 3.0

@@ -1,0 +1,57 @@
+"""Ablation: the latent-heat window length.
+
+The paper sums threshold distances over the previous hour (12 slots of
+5 minutes). The sweep shows how the window trades responsiveness for
+stability: window 1 is essentially the single-feature rule, while long
+windows stretch holding times and crush one-slot elephants.
+"""
+
+from repro.analysis.holding import HoldingTimeAnalysis
+from repro.analysis.report import format_table
+from repro.core.latent_heat import LatentHeatClassifier
+from repro.core.thresholds import ConstantLoadThreshold
+
+WINDOWS = (1, 2, 6, 12, 18, 24)
+
+
+def sweep_window(matrix, busy_hours):
+    rows = []
+    for window in WINDOWS:
+        classifier = LatentHeatClassifier(
+            ConstantLoadThreshold(0.8), window=window,
+        )
+        result = classifier.classify(matrix)
+        analysis = HoldingTimeAnalysis.from_result(result,
+                                                   busy_hours=busy_hours)
+        full = HoldingTimeAnalysis.from_result(result, busy_hours=None)
+        rows.append({
+            "window": window,
+            "holding_min": analysis.mean_minutes,
+            "one_slot": full.single_interval_flows,
+            "mean_count": float(result.elephants_per_slot().mean()),
+        })
+    return rows
+
+
+def test_window_sweep(benchmark, paper_run, report_writer):
+    matrix = paper_run.workloads["west-coast"].matrix
+    rows = benchmark.pedantic(
+        sweep_window, args=(matrix, paper_run.config.busy_hours),
+        rounds=1, iterations=1,
+    )
+
+    table = format_table(
+        ["window (slots)", "holding (min)", "one-slot flows",
+         "mean elephants"],
+        [[r["window"], f"{r['holding_min']:.0f}", r["one_slot"],
+          round(r["mean_count"])] for r in rows],
+        title=("Ablation: latent-heat window (paper uses 12 slots = "
+               "1 hour)"),
+    )
+    report_writer("ablation_window", table)
+
+    by_window = {r["window"]: r for r in rows}
+    # Longer windows hold elephants longer and kill one-slot flows.
+    assert by_window[12]["holding_min"] > 2 * by_window[1]["holding_min"]
+    assert by_window[12]["one_slot"] < 0.5 * by_window[1]["one_slot"]
+    assert by_window[24]["holding_min"] >= by_window[6]["holding_min"]

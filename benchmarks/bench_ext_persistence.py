@@ -1,0 +1,58 @@
+"""Extension: persistence curves — the traffic-engineering payoff.
+
+``P(elephant at t+k | elephant at t)`` is what a re-routing decision at
+``t`` actually banks on. The bench contrasts the curves of the
+single-feature and latent-heat rules at horizons up to two hours.
+"""
+
+from repro.analysis.persistence import (
+    persistence_from_result,
+    persistence_gain,
+)
+from repro.analysis.report import format_table
+from repro.core.engine import Feature, Scheme
+
+MAX_LAG = 24  # two hours of 5-minute slots
+
+
+def run_persistence(run):
+    curves = {}
+    for link in ("west-coast", "east-coast"):
+        for feature in Feature:
+            result = run.result(link, Scheme.CONSTANT_LOAD, feature)
+            curves[(link, feature.value)] = persistence_from_result(
+                result, max_lag=MAX_LAG,
+            )
+    return curves
+
+
+def test_persistence_curves(benchmark, paper_run, report_writer):
+    curves = benchmark.pedantic(run_persistence, args=(paper_run,),
+                                rounds=1, iterations=1)
+
+    lags = (1, 6, 12, 24)
+    rows = []
+    for (link, feature), curve in curves.items():
+        rows.append(
+            [link, feature]
+            + [f"{curve.at_lag(lag):.2f}" for lag in lags]
+            + [curve.half_life_slots()]
+        )
+    table = format_table(
+        ["link", "rule", "P(+5min)", "P(+30min)", "P(+1h)", "P(+2h)",
+         "half-life (slots)"],
+        rows,
+        title=("Extension: persistence of the elephant class "
+               "(constant-load scheme)"),
+    )
+    report_writer("ext_persistence", table)
+
+    for link in ("west-coast", "east-coast"):
+        single = curves[(link, Feature.SINGLE.value)]
+        latent = curves[(link, Feature.LATENT_HEAT.value)]
+        # Latent heat dominates the single-feature rule at every horizon.
+        assert all(
+            latent.at_lag(lag) >= single.at_lag(lag) - 1e-9
+            for lag in range(1, MAX_LAG + 1)
+        ), link
+        assert persistence_gain(single, latent, lag=12) > 1.02, link

@@ -1,0 +1,71 @@
+"""Extension: the paper's schemes vs other separation rules.
+
+Beyond "aest" and "0.8-constant-load", practical systems used fixed
+top-k budgets, absolute capacity-fraction cutoffs, and mean-plus-k-std
+outlier rules. This bench runs all five under the same EWMA + latent
+heat machinery and reports population size, coverage and churn — the
+dimensions on which a TE operator would choose.
+"""
+
+from repro.analysis.churn import ChurnReport
+from repro.analysis.report import format_table
+from repro.core.alternatives import (
+    CapacityFractionThreshold,
+    MeanPlusStdThreshold,
+    TopKThreshold,
+)
+from repro.core.latent_heat import LatentHeatClassifier
+from repro.core.thresholds import AestThreshold, ConstantLoadThreshold
+from repro.traffic.linksim import OC12_CAPACITY_BPS
+
+
+def run_schemes(matrix):
+    detectors = [
+        AestThreshold(),
+        ConstantLoadThreshold(0.8),
+        TopKThreshold(k=max(1, matrix.num_flows // 12)),
+        CapacityFractionThreshold(OC12_CAPACITY_BPS, fraction=2e-4),
+        MeanPlusStdThreshold(k=3.0),
+    ]
+    rows = []
+    for detector in detectors:
+        result = LatentHeatClassifier(detector).classify(matrix)
+        churn = ChurnReport.from_result(result)
+        rows.append({
+            "scheme": detector.name,
+            "mean_count": float(result.elephants_per_slot().mean()),
+            "fraction": float(result.traffic_fraction_per_slot().mean()),
+            "overlap": churn.class_overlap,
+            "transitions": churn.total_transitions,
+            "fallbacks": len(result.thresholds.fallback_slots),
+        })
+    return rows
+
+
+def test_scheme_comparison(benchmark, paper_run, report_writer):
+    matrix = paper_run.workloads["west-coast"].matrix
+    rows = benchmark.pedantic(run_schemes, args=(matrix,),
+                              rounds=1, iterations=1)
+
+    table = format_table(
+        ["scheme", "mean elephants", "traffic fraction", "set overlap",
+         "transitions", "fallbacks"],
+        [[r["scheme"], round(r["mean_count"]), f"{r['fraction']:.2f}",
+          f"{r['overlap']:.3f}", r["transitions"], r["fallbacks"]]
+         for r in rows],
+        title=("Extension: separation schemes under latent heat "
+               "(west-coast link)"),
+    )
+    report_writer("ext_scheme_comparison", table)
+
+    by_scheme = {r["scheme"]: r for r in rows}
+    # The paper's two schemes must land in the same coverage regime.
+    aest = by_scheme["aest"]
+    constant = by_scheme["0.8-constant-load"]
+    assert abs(aest["fraction"] - constant["fraction"]) < 0.25
+    # The mean+std rule collapses to a tiny class on heavy tails.
+    mean_std = by_scheme["mean+3std"]
+    assert mean_std["mean_count"] < 0.5 * constant["mean_count"]
+    # Every scheme keeps a stable class under latent heat.
+    for row in rows:
+        assert row["overlap"] > 0.5, row["scheme"]

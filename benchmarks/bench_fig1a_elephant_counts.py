@@ -1,0 +1,54 @@
+"""Figure 1(a): number of elephants per 5-minute slot.
+
+Paper series: 2 links × 2 schemes with latent heat over 28 hours.
+Reported shape: west-coast counts burst during working hours while the
+east-coast link evolves smoothly; averages around 600 (west) and 500
+(east) at full scale.
+"""
+
+from repro.analysis.elephants import working_hours_lift
+from repro.analysis.report import format_series_summary, format_table
+from repro.experiments.figures import Figure1a
+
+
+def test_fig1a_number_of_elephants(benchmark, paper_run, report_writer):
+    figure = benchmark.pedantic(
+        Figure1a.from_run, args=(paper_run,), rounds=3, iterations=1,
+    )
+
+    rows = []
+    for label, series in figure.series.items():
+        rows.append([
+            label,
+            round(series.mean_count),
+            round(float(series.counts.min())),
+            round(float(series.counts.max())),
+            f"{working_hours_lift(series):.2f}",
+        ])
+    table = format_table(
+        ["curve", "mean", "min", "max", "working-hours lift"],
+        rows,
+        title=("Fig 1(a) number of elephants per slot "
+               f"(scale={paper_run.config.scale:g}; paper: ~600 west / "
+               "~500 east, bursting on the west link during the day)"),
+    )
+    series_lines = "\n".join(
+        format_series_summary(label, series.counts.tolist())
+        for label, series in figure.series.items()
+    )
+    report_writer("fig1a_elephant_counts",
+                  table + "\n\n" + series_lines + "\n\n" + figure.render())
+
+    # Shape assertions (the paper's qualitative claims).
+    counts = figure.mean_counts()
+    for label, mean_count in counts.items():
+        assert 20 < mean_count < 3000, label
+    west_lift = max(
+        working_hours_lift(series)
+        for label, series in figure.series.items() if "west" in label
+    )
+    east_lift = max(
+        working_hours_lift(series)
+        for label, series in figure.series.items() if "east" in label
+    )
+    assert west_lift > east_lift

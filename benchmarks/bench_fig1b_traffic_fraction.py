@@ -1,0 +1,43 @@
+"""Figure 1(b): fraction of total traffic apportioned to elephants.
+
+Paper shape: roughly 0.6 for both links and both schemes, clearly
+below the 0.8-constant-load target (latent heat evicts non-persistent
+flows), and less fluctuating than the elephant-count series.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.figures import Figure1b
+
+
+def test_fig1b_traffic_fraction(benchmark, paper_run, report_writer):
+    figure = benchmark.pedantic(
+        Figure1b.from_run, args=(paper_run,), rounds=3, iterations=1,
+    )
+
+    rows = []
+    for label, series in figure.series.items():
+        rows.append([
+            label,
+            f"{series.mean_fraction:.2f}",
+            f"{series.traffic_fraction.min():.2f}",
+            f"{series.traffic_fraction.max():.2f}",
+            f"{series.fraction_stability():.3f}",
+            f"{series.count_variability():.3f}",
+        ])
+    table = format_table(
+        ["curve", "mean", "min", "max", "cv(fraction)", "cv(count)"],
+        rows,
+        title=("Fig 1(b) fraction of traffic apportioned to elephants "
+               "(paper: ~0.6, below the 0.8 target, steadier than the "
+               "count series)"),
+    )
+    report_writer("fig1b_traffic_fraction", table + "\n\n" + figure.render())
+
+    for label, series in figure.series.items():
+        assert 0.4 < series.mean_fraction < 0.85, label
+        # The constant-load curves must sit below their 0.8 target.
+        if "constant load" in label:
+            assert series.mean_fraction < 0.80, label
+        # Fig 1(b) is steadier than Fig 1(a).
+        assert series.fraction_stability() < series.count_variability(), \
+            label

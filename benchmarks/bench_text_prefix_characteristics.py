@@ -1,0 +1,67 @@
+"""In-text claim T3: prefix characteristics of elephants.
+
+Paper: elephants span prefix lengths /12 to /26; of ~100 active /8
+networks only three were elephants; prefix size and elephant-ness are
+essentially uncorrelated.
+"""
+
+from repro.analysis.report import format_paper_comparison, format_table
+from repro.experiments.textstats import prefix_reports
+
+
+def test_prefix_characteristics(benchmark, paper_run, report_writer):
+    reports = benchmark.pedantic(
+        prefix_reports, args=(paper_run,), rounds=3, iterations=1,
+    )
+
+    rows = []
+    comparisons = []
+    for link, report in reports.items():
+        rows.append([
+            link,
+            f"/{report.min_elephant_length}-/{report.max_elephant_length}",
+            f"{report.slash8_elephants}/{report.slash8_active}",
+            f"{report.length_rate_correlation:+.3f}",
+        ])
+        comparisons.append((
+            f"{link}: /8 elephants / active /8s", "3 / ~100",
+            f"{report.slash8_elephants} / {report.slash8_active}",
+        ))
+    comparisons.append((
+        "corr(prefix length, log rate)", "~0 (\"little correlation\")",
+        " ".join(f"{r.length_rate_correlation:+.3f}"
+                 for r in reports.values()),
+    ))
+
+    length_rows = []
+    west = reports["west-coast"]
+    for length, share in sorted(west.elephant_share_by_length().items()):
+        active = west.active_lengths.get(length, 0)
+        elephants = west.elephant_lengths.get(length, 0)
+        length_rows.append([f"/{length}", active, elephants,
+                            f"{share:.3f}"])
+    breakdown = format_table(
+        ["prefix length", "active", "elephants", "elephant share"],
+        length_rows,
+        title="west-coast elephants by prefix length",
+    )
+
+    table = format_table(
+        ["link", "elephant length span", "/8 elephants", "corr(len, rate)"],
+        rows, title="T3: prefix characteristics",
+    )
+    report_writer(
+        "text_prefix_characteristics",
+        table + "\n\n" + format_paper_comparison(comparisons)
+        + "\n\n" + breakdown,
+    )
+
+    for link, report in reports.items():
+        assert report.max_elephant_length - report.min_elephant_length >= 8
+        assert abs(report.length_rate_correlation) < 0.2, link
+        if report.slash8_active:
+            slash8_rate = report.slash8_elephants / report.slash8_active
+            total_active = sum(report.active_lengths.values())
+            total_elephants = sum(report.elephant_lengths.values())
+            overall = total_elephants / total_active
+            assert slash8_rate < 4 * overall + 0.05, link

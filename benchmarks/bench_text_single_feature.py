@@ -1,0 +1,57 @@
+"""In-text claim T1: single-feature classification is volatile.
+
+Paper: average elephant holding time of 20-40 minutes during the busy
+period, and more than 1000 flows per link that are elephants for just
+a single interval.
+"""
+
+from repro.analysis.holding import HoldingTimeAnalysis
+from repro.analysis.report import format_paper_comparison, format_table
+from repro.core.engine import Feature
+from repro.experiments.textstats import volatility_grid
+
+
+def _one_slot_full_horizon(result) -> int:
+    analysis = HoldingTimeAnalysis.from_result(result, busy_hours=None)
+    return analysis.single_interval_flows
+
+
+def test_single_feature_volatility(benchmark, paper_run, report_writer):
+    grid = benchmark.pedantic(
+        volatility_grid, args=(paper_run, Feature.SINGLE),
+        rounds=3, iterations=1,
+    )
+
+    rows = [[
+        stats.link, stats.scheme,
+        f"{stats.mean_holding_minutes:.0f}",
+        stats.single_interval_flows,
+        stats.flows_ever_elephant,
+    ] for stats in grid]
+    table = format_table(
+        ["link", "scheme", "holding (min, busy period)",
+         "one-slot flows (busy period)", "flows ever elephant"],
+        rows,
+        title="T1: single-feature volatility",
+    )
+
+    one_slot_totals = {}
+    for (link, scheme), result in paper_run.single_feature_results().items():
+        one_slot_totals[(link, scheme.value)] = \
+            _one_slot_full_horizon(result)
+    comparison = format_paper_comparison([
+        ("busy-period holding time", "20-40 min",
+         f"{min(s.mean_holding_minutes for s in grid):.0f}-"
+         f"{max(s.mean_holding_minutes for s in grid):.0f} min"),
+        ("one-slot flows per link (full horizon)", "> 1000",
+         str(sorted(one_slot_totals.values()))),
+    ])
+    report_writer("text_single_feature", table + "\n\n" + comparison)
+
+    scale = paper_run.config.scale
+    for stats in grid:
+        # Paper band is 20-40 min; accept 10-60 across scales/seeds.
+        assert 10 < stats.mean_holding_minutes < 60, stats
+    for key, count in one_slot_totals.items():
+        # >1000 at full scale; proportionally fewer at reduced scale.
+        assert count > 600 * scale, key

@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+Every figure/table benchmark reads the same cached paper run (the
+simulation and classification are produced once per session); the
+``benchmark`` fixture then times the analysis stage that regenerates
+the figure. Each bench also writes its rows to
+``benchmarks/reports/<name>.txt`` so the reproduction record survives
+pytest's output capturing, and prints them (visible with ``-s``).
+
+Scale: ``REPRO_SCALE`` (default 0.5) controls the workload size; use
+``REPRO_SCALE=1.0`` for the full paper-sized run recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import bench_config
+from repro.experiments.runner import PaperRun, cached_paper_run
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="session")
+def paper_run() -> PaperRun:
+    """The shared simulate-and-classify run behind all figure benches."""
+    return cached_paper_run(bench_config())
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write a named report file and echo it to stdout."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = os.path.join(REPORT_DIR, f"{name}.txt")
+        with open(path, "w") as stream:
+            stream.write(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return write

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Heavy hitters are not elephants: the paper's thesis vs the sketches.
+
+Runs the standard OSS heavy-hitter structures per slot (Space-Saving,
+plus an exact top-k oracle) and contrasts their volatility with the
+latent-heat elephants on the same workload. Even a *perfect* per-slot
+top-k churns its member set — persistence requires the second feature.
+
+Run:
+    python examples/sketch_comparison.py
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    ConstantLoadThreshold,
+    LatentHeatClassifier,
+    SingleFeatureClassifier,
+)
+from repro.core.states import HoldingTimeSummary, transition_counts
+from repro.sketches import (
+    exact_top_k_per_slot,
+    mask_agreement,
+    space_saving_per_slot,
+)
+from repro.traffic import west_coast_link
+
+
+def main() -> None:
+    link = west_coast_link(scale=0.15)
+    matrix = link.matrix
+    print(f"workload: {matrix.num_flows} flows x {matrix.num_slots} slots")
+
+    latent = LatentHeatClassifier(ConstantLoadThreshold(0.8)).classify(matrix)
+    single = SingleFeatureClassifier(ConstantLoadThreshold(0.8)).classify(matrix)
+    k = max(1, int(latent.elephants_per_slot().mean()))
+    print(f"comparing against per-slot top-{k} heavy hitters\n")
+
+    oracle = exact_top_k_per_slot(matrix, top_k=k)
+    sketched = space_saving_per_slot(matrix, capacity=max(4 * k, 64),
+                                     top_k=k)
+
+    rows = []
+    for name, mask in [
+        ("latent-heat elephants", latent.elephant_mask),
+        ("single-feature elephants", single.elephant_mask),
+        ("exact top-k per slot", oracle.mask),
+        ("Space-Saving top-k per slot", sketched.mask),
+    ]:
+        summary = HoldingTimeSummary.from_mask(mask)
+        rows.append([
+            name,
+            f"{summary.mean_holding_slots:.1f}",
+            summary.single_slot_flows,
+            int(transition_counts(mask).sum()),
+        ])
+    print(format_table(
+        ["method", "mean holding (slots)", "one-slot flows", "transitions"],
+        rows, title="volatility comparison",
+    ))
+
+    agreement = mask_agreement(oracle.mask, sketched.mask)
+    print(f"\nSpace-Saving vs exact top-k member agreement: {agreement:.2f}")
+    print("Take-away: the sketches find the *current* heavy hitters as "
+          "well as an oracle,\nbut only the latent-heat definition yields "
+          "elephants stable enough to engineer traffic around.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Tuning study: what the paper's parameter choices buy.
+
+Sweeps the three knobs of the classification scheme on one link and
+prints the stability/coverage trade-off tables:
+
+- EWMA weight alpha (paper: 0.9)   -> threshold smoothness vs lag
+- latent-heat window (paper: 12)   -> persistence vs responsiveness
+- constant-load beta (paper: 0.8)  -> population size vs coverage
+
+Run:
+    python examples/threshold_tuning.py
+"""
+
+from repro.analysis import ChurnReport, HoldingTimeAnalysis, format_table
+from repro.core import (
+    ConstantLoadThreshold,
+    LatentHeatClassifier,
+    SingleFeatureClassifier,
+)
+from repro.traffic import west_coast_link
+
+
+def sweep_alpha(matrix) -> str:
+    rows = []
+    for alpha in (0.0, 0.5, 0.8, 0.9, 0.95, 0.99):
+        result = SingleFeatureClassifier(
+            ConstantLoadThreshold(0.8), alpha=alpha,
+        ).classify(matrix)
+        churn = ChurnReport.from_result(result)
+        rows.append([
+            alpha,
+            f"{result.thresholds.smoothness():.4f}",
+            churn.total_transitions,
+            f"{churn.class_overlap:.3f}",
+        ])
+    return format_table(
+        ["alpha", "threshold roughness", "transitions", "set overlap"],
+        rows, title="EWMA alpha sweep (single-feature; paper: 0.9)",
+    )
+
+
+def sweep_window(matrix) -> str:
+    rows = []
+    for window in (1, 2, 6, 12, 18, 24):
+        result = LatentHeatClassifier(
+            ConstantLoadThreshold(0.8), window=window,
+        ).classify(matrix)
+        analysis = HoldingTimeAnalysis.from_result(result)
+        rows.append([
+            window,
+            f"{analysis.mean_minutes:.0f}",
+            analysis.single_interval_flows,
+            round(float(result.elephants_per_slot().mean())),
+        ])
+    return format_table(
+        ["window (slots)", "holding (min)", "one-slot flows", "elephants"],
+        rows, title="latent-heat window sweep (paper: 12 slots = 1 hour)",
+    )
+
+
+def sweep_beta(matrix) -> str:
+    rows = []
+    for beta in (0.5, 0.6, 0.7, 0.8, 0.9):
+        result = LatentHeatClassifier(
+            ConstantLoadThreshold(beta),
+        ).classify(matrix)
+        rows.append([
+            beta,
+            round(float(result.elephants_per_slot().mean())),
+            f"{result.traffic_fraction_per_slot().mean():.2f}",
+        ])
+    return format_table(
+        ["beta (target)", "elephants", "achieved fraction"],
+        rows, title="constant-load beta sweep (paper: 0.8)",
+    )
+
+
+def main() -> None:
+    link = west_coast_link(scale=0.15)
+    print(f"workload: {link.matrix.num_flows} flows x "
+          f"{link.matrix.num_slots} slots\n")
+    print(sweep_alpha(link.matrix))
+    print()
+    print(sweep_window(link.matrix))
+    print()
+    print(sweep_beta(link.matrix))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — a reproduction of *A Pragmatic Definition of Elephants in
+Internet Backbone Traffic* (Papagiannaki et al., IMC 2002).
+
+The package implements the paper's two elephant-classification schemes
+("aest" and "β-constant-load" thresholds, EWMA-smoothed) with both
+decision rules (single-feature volume and two-feature "latent heat"),
+plus every substrate the evaluation needs: a BGP RIB with radix-trie
+longest-prefix match, a classic-pcap packet pipeline, the Crovella–Taqqu
+aest tail estimator, and a calibrated synthetic backbone workload
+standing in for the proprietary Sprint traces.
+
+Quickstart::
+
+    from repro import (
+        ClassificationEngine, Feature, Scheme, west_coast_link,
+    )
+
+    link = west_coast_link(scale=0.25)       # synthetic OC-12 workload
+    engine = ClassificationEngine(link.matrix)
+    result = engine.run(Scheme.AEST, Feature.LATENT_HEAT)
+    print(result.elephants_per_slot().mean())
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    AestThreshold,
+    ClassificationEngine,
+    ClassificationResult,
+    ConstantLoadThreshold,
+    Feature,
+    LatentHeatClassifier,
+    Scheme,
+    SingleFeatureClassifier,
+    ThresholdTracker,
+)
+from repro.errors import ReproError
+from repro.flows import FlowAggregator, RateMatrix, TimeAxis, aggregate_pcap
+from repro.net import Prefix
+from repro.routing import RoutingTable, generate_rib
+from repro.stats import aest, hill_estimator
+from repro.traffic import (
+    LinkWorkload,
+    east_coast_link,
+    simulate_link,
+    west_coast_link,
+    write_pcap,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AestThreshold",
+    "ClassificationEngine",
+    "ClassificationResult",
+    "ConstantLoadThreshold",
+    "Feature",
+    "FlowAggregator",
+    "LatentHeatClassifier",
+    "LinkWorkload",
+    "Prefix",
+    "RateMatrix",
+    "ReproError",
+    "RoutingTable",
+    "Scheme",
+    "SingleFeatureClassifier",
+    "ThresholdTracker",
+    "TimeAxis",
+    "aest",
+    "aggregate_pcap",
+    "east_coast_link",
+    "generate_rib",
+    "hill_estimator",
+    "simulate_link",
+    "west_coast_link",
+    "write_pcap",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Analysis of classification results: the paper's metrics and reports."""
+
+from repro.analysis.busy import DEFAULT_BUSY_HOURS, BusyPeriod, find_busy_period
+from repro.analysis.churn import ChurnReport, churn_reduction
+from repro.analysis.elephants import (
+    ElephantSeries,
+    working_hours_lift,
+    working_hours_mask,
+)
+from repro.analysis.holding import (
+    FIG1C_MAX_SLOTS,
+    HoldingTimeAnalysis,
+    busy_period_result,
+    holding_time_ratio,
+)
+from repro.analysis.persistence import (
+    PersistenceCurve,
+    persistence_curve,
+    persistence_from_result,
+    persistence_gain,
+)
+from repro.analysis.prefixes import OriginTierReport, PrefixLengthReport
+from repro.analysis.report import (
+    format_paper_comparison,
+    format_series_summary,
+    format_table,
+)
+
+__all__ = [
+    "BusyPeriod",
+    "ChurnReport",
+    "DEFAULT_BUSY_HOURS",
+    "ElephantSeries",
+    "FIG1C_MAX_SLOTS",
+    "HoldingTimeAnalysis",
+    "OriginTierReport",
+    "PersistenceCurve",
+    "PrefixLengthReport",
+    "busy_period_result",
+    "churn_reduction",
+    "find_busy_period",
+    "format_paper_comparison",
+    "format_series_summary",
+    "format_table",
+    "holding_time_ratio",
+    "persistence_curve",
+    "persistence_from_result",
+    "persistence_gain",
+    "working_hours_lift",
+    "working_hours_mask",
+]

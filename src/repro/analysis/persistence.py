@@ -1,0 +1,92 @@
+"""Persistence prediction: the traffic-engineering payoff metric.
+
+A re-routing decision made at slot ``t`` pays off only if the chosen
+elephants are still elephants at ``t + k``. The persistence curve
+``P(elephant at t+k | elephant at t)`` measures exactly that, and the
+contrast between the single-feature and latent-heat curves is the
+paper's argument rendered as the quantity a TE system cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClassificationError
+from repro.core.result import ClassificationResult
+
+
+@dataclass(frozen=True)
+class PersistenceCurve:
+    """``probabilities[k-1] = P(elephant at t+k | elephant at t)``."""
+
+    label: str
+    lags: np.ndarray
+    probabilities: np.ndarray
+
+    def at_lag(self, lag: int) -> float:
+        """Persistence probability at ``lag`` slots ahead."""
+        index = int(np.searchsorted(self.lags, lag))
+        if index >= self.lags.size or self.lags[index] != lag:
+            raise ClassificationError(f"lag {lag} not in curve")
+        return float(self.probabilities[index])
+
+    def half_life_slots(self) -> float:
+        """First lag at which persistence drops below one half.
+
+        Returns ``inf`` when the curve never crosses 0.5 within its
+        horizon — the desirable case for traffic engineering.
+        """
+        below = np.flatnonzero(self.probabilities < 0.5)
+        if below.size == 0:
+            return float("inf")
+        return float(self.lags[below[0]])
+
+
+def persistence_curve(mask: np.ndarray, max_lag: int,
+                      label: str = "") -> PersistenceCurve:
+    """Compute the persistence curve of an elephant mask.
+
+    For each lag ``k`` the probability is estimated over all (flow,
+    slot) pairs with ``slot + k`` inside the horizon:
+    ``P = |{elephant at t and t+k}| / |{elephant at t}|``.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ClassificationError("expected a (flows, slots) mask")
+    num_slots = mask.shape[1]
+    if not 1 <= max_lag < num_slots:
+        raise ClassificationError(
+            f"max_lag {max_lag} must be in 1..{num_slots - 1}"
+        )
+    lags = np.arange(1, max_lag + 1)
+    probabilities = np.empty(max_lag, dtype=float)
+    for index, lag in enumerate(lags):
+        now = mask[:, :num_slots - lag]
+        later = mask[:, lag:]
+        elephants_now = int(now.sum())
+        if elephants_now == 0:
+            probabilities[index] = 0.0
+        else:
+            still = int(np.logical_and(now, later).sum())
+            probabilities[index] = still / elephants_now
+    return PersistenceCurve(label=label, lags=lags,
+                            probabilities=probabilities)
+
+
+def persistence_from_result(result: ClassificationResult,
+                            max_lag: int) -> PersistenceCurve:
+    """Persistence curve of a classification result."""
+    return persistence_curve(result.elephant_mask, max_lag,
+                             label=result.label)
+
+
+def persistence_gain(single: PersistenceCurve,
+                     latent: PersistenceCurve,
+                     lag: int) -> float:
+    """How much more persistent latent-heat elephants are at ``lag``."""
+    baseline = single.at_lag(lag)
+    if baseline == 0:
+        return float("inf")
+    return latent.at_lag(lag) / baseline

@@ -1,0 +1,67 @@
+"""Plain-text report rendering for experiment output.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+format them consistently (fixed-width tables, no external dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned fixed-width table.
+
+    Numbers are formatted compactly; every column is sized to its widest
+    cell. Returns a string ready to print.
+    """
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_series_summary(name: str, values: Sequence[float]) -> str:
+    """One-line min/mean/max summary of a series."""
+    if not len(values):
+        return f"{name}: (empty)"
+    lowest = min(values)
+    highest = max(values)
+    mean = sum(values) / len(values)
+    return (f"{name}: min={_cell(float(lowest))} mean={_cell(float(mean))} "
+            f"max={_cell(float(highest))} n={len(values)}")
+
+
+def format_paper_comparison(rows: Sequence[tuple[str, str, str]]) -> str:
+    """Table of (metric, paper value, measured value) triples."""
+    return format_table(
+        ["metric", "paper", "measured"],
+        [list(row) for row in rows],
+        title="paper vs measured",
+    )

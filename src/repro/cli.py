@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``simulate`` — generate a synthetic link workload and save the rate
+  matrix to ``.npz`` (optionally also a pcap realisation).
+- ``classify`` — load a rate matrix, run a scheme/feature combination,
+  print the summary table.
+- ``figures``  — run the full two-link paper experiment and render
+  Figure 1(a)–(c) as ASCII charts.
+
+The CLI is a thin veneer over the library; anything it does is three
+lines of Python away.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.elephants import ElephantSeries
+from repro.analysis.holding import HoldingTimeAnalysis
+from repro.analysis.report import format_table
+from repro.core.engine import ClassificationEngine, Feature, Scheme
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import Figure1a, Figure1b, Figure1c
+from repro.experiments.runner import run_paper_experiment
+from repro.flows.matrix import RateMatrix
+from repro.traffic.scenarios import east_coast_link, west_coast_link
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Elephant-flow classification (IMC 2002 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="generate a synthetic link workload",
+    )
+    simulate.add_argument("output", help="output .npz path for the matrix")
+    simulate.add_argument("--link", choices=("west", "east"),
+                          default="west", help="which paper link profile")
+    simulate.add_argument("--scale", type=float, default=0.25,
+                          help="workload scale in (0, 1]")
+    simulate.add_argument("--seed", type=int, default=None,
+                          help="override the scenario seed")
+
+    classify = commands.add_parser(
+        "classify", help="classify a saved rate matrix",
+    )
+    classify.add_argument("matrix", help=".npz file from `repro simulate`")
+    classify.add_argument("--scheme", choices=("aest", "constant-load"),
+                          default="constant-load")
+    classify.add_argument("--feature", choices=("single", "latent-heat"),
+                          default="latent-heat")
+    classify.add_argument("--alpha", type=float, default=0.9,
+                          help="EWMA smoothing weight")
+    classify.add_argument("--beta", type=float, default=0.8,
+                          help="constant-load target share")
+    classify.add_argument("--window", type=int, default=12,
+                          help="latent-heat window in slots")
+
+    figures = commands.add_parser(
+        "figures", help="run the paper experiment, render Figure 1",
+    )
+    figures.add_argument("--scale", type=float, default=0.25)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    if args.link == "west":
+        workload = west_coast_link(scale=args.scale, **kwargs)
+    else:
+        workload = east_coast_link(scale=args.scale, **kwargs)
+    workload.matrix.save_npz(args.output)
+    print(f"wrote {workload.matrix.num_flows} flows x "
+          f"{workload.matrix.num_slots} slots to {args.output} "
+          f"(mean utilisation {workload.mean_utilization():.0%})")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    matrix = RateMatrix.load_npz(args.matrix)
+    scheme = Scheme.AEST if args.scheme == "aest" else Scheme.CONSTANT_LOAD
+    feature = (Feature.SINGLE if args.feature == "single"
+               else Feature.LATENT_HEAT)
+    from repro.core.engine import EngineConfig
+    engine = ClassificationEngine(matrix, EngineConfig(
+        alpha=args.alpha, beta=args.beta, window=args.window,
+    ))
+    result = engine.run(scheme, feature)
+    series = ElephantSeries.from_result(result)
+    analysis = HoldingTimeAnalysis.from_result(result, busy_hours=None)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["run", result.label],
+            ["flows x slots",
+             f"{matrix.num_flows} x {matrix.num_slots}"],
+            ["mean elephants/slot", round(series.mean_count)],
+            ["mean traffic fraction", f"{series.mean_fraction:.2f}"],
+            ["mean holding (min)", f"{analysis.mean_minutes:.0f}"],
+            ["one-slot flows", analysis.single_interval_flows],
+            ["threshold fallbacks", len(result.thresholds.fallback_slots)],
+        ],
+        title="classification summary",
+    ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    run = run_paper_experiment(ExperimentConfig(scale=args.scale))
+    print(Figure1a.from_run(run).render())
+    print()
+    print(Figure1b.from_run(run).render())
+    print()
+    print(Figure1c.from_run(run).render())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "classify": _cmd_classify,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Alternative threshold schemes from the surrounding literature.
+
+The paper evaluates "aest" and "β-constant-load"; contemporaneous
+systems and later work used other separation rules. These detectors
+plug into the same :class:`~repro.core.smoothing.ThresholdTracker` /
+classifier machinery, enabling the scheme-comparison extension bench:
+
+- :class:`TopKThreshold` — keep a fixed number of flows (routers have
+  a fixed number of TE tunnels or filters to spend).
+- :class:`CapacityFractionThreshold` — an absolute cutoff at a fraction
+  of link capacity (the AutoFocus/packet-sampling tradition: "a flow
+  matters when it exceeds x% of the link").
+- :class:`MeanPlusStdThreshold` — a dispersion rule: mean plus ``k``
+  standard deviations of the active flows' bandwidths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.core.thresholds import positive_rates
+
+
+@dataclass(frozen=True)
+class TopKThreshold:
+    """Separate the ``k`` largest active flows from everyone else."""
+
+    k: int = 500
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k {self.k} must be >= 1")
+        if not self.name:
+            object.__setattr__(self, "name", f"top-{self.k}")
+
+    def detect(self, rates: np.ndarray) -> float:
+        active = positive_rates(rates)
+        if active.size == 0:
+            raise InsufficientDataError("no active flows in slot")
+        if active.size <= self.k:
+            # Fewer flows than k: everything is an elephant; put the
+            # threshold just below the smallest active rate.
+            return float(active.min() / 2.0)
+        ordered = np.sort(active)[::-1]
+        kth = ordered[self.k - 1]
+        next_down = ordered[self.k]
+        return float((kth + next_down) / 2.0)
+
+
+@dataclass(frozen=True)
+class CapacityFractionThreshold:
+    """A fixed cutoff at ``fraction`` of the link capacity."""
+
+    capacity_bps: float
+    fraction: float = 0.001
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(f"fraction {self.fraction} outside (0, 1)")
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"capacity-{self.fraction:g}"
+            )
+
+    def detect(self, rates: np.ndarray) -> float:
+        active = positive_rates(rates)
+        if active.size == 0:
+            raise InsufficientDataError("no active flows in slot")
+        return float(self.capacity_bps * self.fraction)
+
+
+@dataclass(frozen=True)
+class MeanPlusStdThreshold:
+    """Mean plus ``k`` standard deviations of the active bandwidths.
+
+    The classic outlier rule. On heavy-tailed slot distributions the
+    standard deviation is dominated by the top flows, which makes this
+    scheme erratic — a behaviour the comparison bench makes visible.
+    """
+
+    k: float = 3.0
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k {self.k} must be non-negative")
+        if not self.name:
+            object.__setattr__(self, "name", f"mean+{self.k:g}std")
+
+    def detect(self, rates: np.ndarray) -> float:
+        active = positive_rates(rates)
+        if active.size == 0:
+            raise InsufficientDataError("no active flows in slot")
+        threshold = float(active.mean() + self.k * active.std())
+        if threshold <= 0:
+            raise InsufficientDataError("degenerate slot distribution")
+        return threshold

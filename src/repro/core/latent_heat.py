@@ -1,0 +1,89 @@
+"""Two-feature classification with the "latent heat" metric.
+
+Latent heat accumulates the *signed distance* between a flow's bandwidth
+and the smoothed threshold over the past window (12 slots = 1 hour at
+the default 5-minute slots):
+
+    ``LH_i(t) = Σ_{k = t−W+1 … t} ( x_i(k) − B̄_th(k) )``
+
+and the flow is an elephant iff ``LH_i(t) > 0``. A transient burst above
+the threshold cannot outweigh an hour of sitting below it, and a
+transient dip cannot erase an hour of sitting above: the metric "reacts
+to transient moves above/below the threshold with sufficient latency",
+filtering exactly the reclassification churn that makes the
+single-feature scheme useless for traffic engineering.
+
+During warm-up (``t < W − 1``) the sum runs over the slots available so
+far, so classification is defined from slot 0 (with single-slot
+behaviour at ``t = 0``, converging to the full window by ``t = W − 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ClassificationError
+from repro.core.result import ClassificationResult
+from repro.core.smoothing import DEFAULT_ALPHA, ThresholdTracker
+from repro.core.thresholds import ThresholdDetector
+from repro.flows.matrix import RateMatrix
+
+#: The paper's window: 12 slots of 5 minutes — "the previous hour".
+DEFAULT_WINDOW_SLOTS = 12
+
+#: Name recorded in results produced by this classifier.
+CLASSIFIER_NAME = "latent-heat"
+
+
+def latent_heat_series(rates: np.ndarray, smoothed_thresholds: np.ndarray,
+                       window: int) -> np.ndarray:
+    """Latent heat of every flow at every slot.
+
+    ``rates`` is ``(flows, slots)``; ``smoothed_thresholds`` is
+    ``(slots,)``. Returns the ``(flows, slots)`` latent-heat matrix,
+    using a truncated window during warm-up.
+    """
+    if window < 1:
+        raise ClassificationError(f"window {window} must be >= 1")
+    if rates.ndim != 2:
+        raise ClassificationError("rates must be 2-D")
+    if smoothed_thresholds.shape != (rates.shape[1],):
+        raise ClassificationError("threshold series length mismatch")
+    deviations = rates - smoothed_thresholds[None, :]
+    cumulative = np.cumsum(deviations, axis=1)
+    heat = cumulative.copy()
+    if rates.shape[1] > window:
+        heat[:, window:] = cumulative[:, window:] - cumulative[:, :-window]
+    return heat
+
+
+@dataclass
+class LatentHeatClassifier:
+    """Classify using threshold distance accumulated over a window."""
+
+    detector: ThresholdDetector
+    alpha: float = DEFAULT_ALPHA
+    window: int = DEFAULT_WINDOW_SLOTS
+    name: str = field(default=CLASSIFIER_NAME, init=False)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ClassificationError(
+                f"latent-heat window {self.window} must be >= 1"
+            )
+
+    def classify(self, matrix: RateMatrix) -> ClassificationResult:
+        """Run detection + smoothing, then threshold the latent heat."""
+        tracker = ThresholdTracker(self.detector, alpha=self.alpha)
+        thresholds = tracker.run(matrix.rates)
+        heat = latent_heat_series(matrix.rates, thresholds.smoothed,
+                                  self.window)
+        mask = heat > 0.0
+        return ClassificationResult(
+            matrix=matrix,
+            thresholds=thresholds,
+            elephant_mask=mask,
+            classifier=self.name,
+        )

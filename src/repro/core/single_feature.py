@@ -1,0 +1,41 @@
+"""Single-feature (volume-only) classification.
+
+A flow is an elephant in slot ``t`` iff its bandwidth exceeds the
+smoothed threshold: ``x_i(t) > B̄_th(t)``. This is the paper's first
+scheme — simple, online, and (as Section II shows) volatile: elephants
+hold their state for only 20–40 minutes and over a thousand flows per
+link are elephants for a single slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.result import ClassificationResult
+from repro.core.smoothing import DEFAULT_ALPHA, ThresholdTracker
+from repro.core.thresholds import ThresholdDetector
+from repro.flows.matrix import RateMatrix
+
+#: Name recorded in results produced by this classifier.
+CLASSIFIER_NAME = "single-feature"
+
+
+@dataclass
+class SingleFeatureClassifier:
+    """Classify every slot by thresholding bandwidth alone."""
+
+    detector: ThresholdDetector
+    alpha: float = DEFAULT_ALPHA
+    name: str = field(default=CLASSIFIER_NAME, init=False)
+
+    def classify(self, matrix: RateMatrix) -> ClassificationResult:
+        """Run threshold detection + EWMA + per-slot comparison."""
+        tracker = ThresholdTracker(self.detector, alpha=self.alpha)
+        thresholds = tracker.run(matrix.rates)
+        mask = matrix.rates > thresholds.smoothed[None, :]
+        return ClassificationResult(
+            matrix=matrix,
+            thresholds=thresholds,
+            elephant_mask=mask,
+            classifier=self.name,
+        )

@@ -1,0 +1,114 @@
+"""Online, slot-at-a-time classification.
+
+The batch classifiers in :mod:`repro.core.single_feature` and
+:mod:`repro.core.latent_heat` consume a whole rate matrix; a deployed
+traffic-engineering system sees one measurement slot at a time. This
+module provides that interface with identical semantics: feeding the
+columns of a matrix through :class:`OnlineClassifier` produces exactly
+the masks the batch classifiers produce (asserted in the test suite).
+
+The latent-heat state per flow is a running window sum maintained with
+a ring buffer of per-slot deviations, so memory is
+``O(num_flows × window)`` and each slot costs ``O(num_flows)`` plus one
+threshold detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClassificationError
+from repro.core.latent_heat import DEFAULT_WINDOW_SLOTS
+from repro.core.smoothing import DEFAULT_ALPHA, SlotThreshold, ThresholdTracker
+from repro.core.thresholds import ThresholdDetector
+
+
+@dataclass(frozen=True)
+class SlotVerdict:
+    """The outcome of one observed slot."""
+
+    slot: int
+    thresholds: SlotThreshold
+    elephant_mask: np.ndarray
+    latent_heat: np.ndarray | None
+
+    @property
+    def num_elephants(self) -> int:
+        """Number of flows classified as elephants in this slot."""
+        return int(self.elephant_mask.sum())
+
+    def elephants(self) -> np.ndarray:
+        """Row indices of this slot's elephants."""
+        return np.flatnonzero(self.elephant_mask)
+
+
+class OnlineClassifier:
+    """Streaming classifier over a fixed flow population.
+
+    ``num_flows`` fixes the population (flow identity is positional, as
+    in :class:`~repro.flows.matrix.RateMatrix`). With ``window=1`` the
+    decision rule degenerates to ``x > B̄`` only when using latent heat
+    over a single slot — pass ``use_latent_heat=False`` for the exact
+    single-feature rule.
+    """
+
+    def __init__(self, detector: ThresholdDetector, num_flows: int,
+                 alpha: float = DEFAULT_ALPHA,
+                 window: int = DEFAULT_WINDOW_SLOTS,
+                 use_latent_heat: bool = True) -> None:
+        if num_flows < 1:
+            raise ClassificationError("num_flows must be >= 1")
+        if window < 1:
+            raise ClassificationError("window must be >= 1")
+        self.num_flows = num_flows
+        self.window = window
+        self.use_latent_heat = use_latent_heat
+        self._tracker = ThresholdTracker(detector, alpha=alpha)
+        self._deviation_ring = np.zeros((num_flows, window))
+        self._heat = np.zeros(num_flows)
+        self._slot = 0
+
+    @property
+    def slots_observed(self) -> int:
+        """How many slots have been consumed."""
+        return self._slot
+
+    def observe_slot(self, rates: np.ndarray) -> SlotVerdict:
+        """Consume one slot's flow bandwidths and classify it."""
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (self.num_flows,):
+            raise ClassificationError(
+                f"expected {self.num_flows} rates, got shape {rates.shape}"
+            )
+        thresholds = self._tracker.observe(rates)
+        deviations = rates - thresholds.smoothed
+
+        if self.use_latent_heat:
+            ring_slot = self._slot % self.window
+            self._heat += deviations - self._deviation_ring[:, ring_slot]
+            self._deviation_ring[:, ring_slot] = deviations
+            mask = self._heat > 0.0
+            heat = self._heat.copy()
+        else:
+            mask = rates > thresholds.smoothed
+            heat = None
+
+        verdict = SlotVerdict(
+            slot=self._slot,
+            thresholds=thresholds,
+            elephant_mask=mask,
+            latent_heat=heat,
+        )
+        self._slot += 1
+        return verdict
+
+    def run(self, rate_columns: np.ndarray) -> list[SlotVerdict]:
+        """Feed every column of a ``(flows, slots)`` matrix in order."""
+        if rate_columns.ndim != 2 or rate_columns.shape[0] != self.num_flows:
+            raise ClassificationError(
+                f"expected a ({self.num_flows}, slots) matrix"
+            )
+        return [self.observe_slot(rate_columns[:, t])
+                for t in range(rate_columns.shape[1])]

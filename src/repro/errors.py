@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while still being
+able to distinguish failure modes when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or network prefix is malformed or out of range."""
+
+
+class RoutingError(ReproError):
+    """A routing-table operation failed (duplicate route, bad prefix, ...)."""
+
+
+class PcapError(ReproError):
+    """A pcap file or packet buffer could not be parsed or encoded."""
+
+
+class PcapFormatError(PcapError):
+    """The pcap file magic, header, or record structure is invalid."""
+
+
+class PacketDecodeError(PcapError):
+    """A packet buffer is too short or structurally invalid for its layer."""
+
+
+class EstimatorError(ReproError):
+    """A statistical estimator received input it cannot work with."""
+
+
+class InsufficientDataError(EstimatorError):
+    """Too few samples to run the requested estimator."""
+
+
+class TailNotFoundError(EstimatorError):
+    """The aest procedure found no region of consistent power-law scaling."""
+
+
+class ClassificationError(ReproError):
+    """The classification engine was misconfigured or fed inconsistent data."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic-workload model was configured with invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run is invalid."""

@@ -1,0 +1,118 @@
+"""Terminal plotting: line charts and histograms in plain ASCII.
+
+Benchmarks and examples render the paper's figures directly into the
+terminal, so the reproduction can be eyeballed without matplotlib
+(which is unavailable offline anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+_MARKERS = "*o+x#@%&"
+
+
+def line_chart(series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+               width: int = 78, height: int = 18,
+               title: str = "", y_label: str = "",
+               x_label: str = "") -> str:
+    """Render named ``(x, y)`` series as an ASCII line chart.
+
+    Each series gets its own marker; the legend maps markers to names.
+    Points are nearest-neighbour binned onto the character grid.
+    """
+    if not series:
+        return f"{title}\n(no data)"
+    all_x = np.concatenate([np.asarray(x, float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, float) for _, y in series.values()])
+    if all_x.size == 0:
+        return f"{title}\n(no data)"
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        xs = np.asarray(xs, float)
+        ys = np.asarray(ys, float)
+        columns = ((xs - x_low) / (x_high - x_low) * (width - 1)).round()
+        rows = ((ys - y_low) / (y_high - y_low) * (height - 1)).round()
+        for column, row in zip(columns.astype(int), rows.astype(int)):
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"[y: {y_label}]")
+    top_label = _format_value(y_high)
+    bottom_label = _format_value(y_low)
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * label_width} +{'-' * width}"
+    lines.append(axis)
+    x_axis_text = (f"{_format_value(x_low)}"
+                   f"{' ' * max(1, width - 12)}"
+                   f"{_format_value(x_high)}")
+    lines.append(f"{' ' * label_width}  {x_axis_text}")
+    if x_label:
+        lines.append(f"[x: {x_label}]")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def histogram_chart(centers: Sequence[float], counts: Sequence[int],
+                    width: int = 60, title: str = "",
+                    log_counts: bool = True,
+                    max_rows: int = 30) -> str:
+    """Render a histogram as horizontal bars (optionally log-scaled).
+
+    Zero-count bins are skipped; with more than ``max_rows`` populated
+    bins, bins are merged pairwise until they fit.
+    """
+    centers = np.asarray(centers, float)
+    counts = np.asarray(counts, float)
+    populated = counts > 0
+    centers, counts = centers[populated], counts[populated]
+    if centers.size == 0:
+        return f"{title}\n(no data)"
+    while centers.size > max_rows:
+        trim = centers.size - centers.size % 2
+        centers = centers[:trim].reshape(-1, 2).mean(axis=1)
+        counts = counts[:trim].reshape(-1, 2).sum(axis=1)
+
+    values = np.log10(counts + 1.0) if log_counts else counts
+    scale = values.max() if values.max() > 0 else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append(f"(bar length ~ {'log10(count+1)' if log_counts else 'count'})")
+    for center, count, value in zip(centers, counts, values):
+        bar = "#" * max(1, int(round(value / scale * width)))
+        lines.append(f"{center:8.1f} | {bar} {int(count)}")
+    return "\n".join(lines)
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.2g}"
+    return f"{value:.2f}"

@@ -1,0 +1,52 @@
+"""Experiment configuration shared by benches, tests and examples."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.engine import EngineConfig
+from repro.errors import ExperimentError
+
+#: Environment variable selecting the experiment scale (0 < scale <= 1).
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+#: Default scale for benchmark runs. 0.5 keeps a single bench invocation
+#: within seconds while preserving every qualitative shape; set
+#: REPRO_SCALE=1.0 for the full paper-sized run.
+DEFAULT_BENCH_SCALE = 0.5
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one reproduction run."""
+
+    scale: float = DEFAULT_BENCH_SCALE
+    busy_hours: float = 5.0
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ExperimentError(f"scale {self.scale} outside (0, 1]")
+        if self.busy_hours <= 0:
+            raise ExperimentError("busy_hours must be positive")
+        self.engine.validate()
+
+
+def bench_scale() -> float:
+    """Scale for benchmark runs (REPRO_SCALE env override)."""
+    raw = os.environ.get(SCALE_ENV_VAR)
+    if raw is None:
+        return DEFAULT_BENCH_SCALE
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ExperimentError(f"bad {SCALE_ENV_VAR}={raw!r}") from exc
+    if not 0.0 < scale <= 1.0:
+        raise ExperimentError(f"{SCALE_ENV_VAR} must be in (0, 1]")
+    return scale
+
+
+def bench_config() -> ExperimentConfig:
+    """The configuration benchmarks run with."""
+    return ExperimentConfig(scale=bench_scale())

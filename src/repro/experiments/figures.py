@@ -1,0 +1,125 @@
+"""Figure builders: the exact series/histograms of Fig. 1(a)–(c)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.elephants import ElephantSeries
+from repro.analysis.holding import HoldingTimeAnalysis
+from repro.core.engine import Scheme
+from repro.experiments.ascii_plot import histogram_chart, line_chart
+from repro.experiments.runner import PaperRun
+from repro.stats.histogram import Histogram
+
+
+def _curve_label(link: str, scheme: Scheme) -> str:
+    scheme_name = ("constant load" if scheme is Scheme.CONSTANT_LOAD
+                   else "aest")
+    return f"{scheme_name} ({link})"
+
+
+@dataclass(frozen=True)
+class Figure1a:
+    """Number of elephants per slot, per link and scheme."""
+
+    series: dict[str, ElephantSeries]
+
+    @classmethod
+    def from_run(cls, run: PaperRun) -> "Figure1a":
+        series = {
+            _curve_label(link, scheme): ElephantSeries.from_result(result)
+            for (link, scheme), result in run.latent_heat_results().items()
+        }
+        return cls(series)
+
+    def render(self) -> str:
+        """ASCII rendering in the figure's layout."""
+        chart_input = {
+            label: (entry.hours, entry.counts)
+            for label, entry in self.series.items()
+        }
+        return line_chart(
+            chart_input,
+            title="Fig 1(a): number of elephants (latent-heat schemes)",
+            y_label="elephants per slot",
+            x_label="hours since 09:00 Jul 24",
+        )
+
+    def mean_counts(self) -> dict[str, float]:
+        """Average elephant count per curve (paper: ~600 west, ~500 east)."""
+        return {label: entry.mean_count
+                for label, entry in self.series.items()}
+
+
+@dataclass(frozen=True)
+class Figure1b:
+    """Fraction of traffic apportioned to elephants, per link and scheme."""
+
+    series: dict[str, ElephantSeries]
+
+    @classmethod
+    def from_run(cls, run: PaperRun) -> "Figure1b":
+        series = {
+            _curve_label(link, scheme): ElephantSeries.from_result(result)
+            for (link, scheme), result in run.latent_heat_results().items()
+        }
+        return cls(series)
+
+    def render(self) -> str:
+        chart_input = {
+            label: (entry.hours, entry.traffic_fraction)
+            for label, entry in self.series.items()
+        }
+        return line_chart(
+            chart_input,
+            title="Fig 1(b): fraction of total traffic apportioned to elephants",
+            y_label="traffic fraction",
+            x_label="hours since 09:00 Jul 24",
+        )
+
+    def mean_fractions(self) -> dict[str, float]:
+        """Average fraction per curve (paper: ~0.6)."""
+        return {label: entry.mean_fraction
+                for label, entry in self.series.items()}
+
+
+@dataclass(frozen=True)
+class Figure1c:
+    """Histogram of average holding times in the elephant state."""
+
+    analyses: dict[str, HoldingTimeAnalysis]
+
+    @classmethod
+    def from_run(cls, run: PaperRun) -> "Figure1c":
+        analyses = {
+            _curve_label(link, scheme): HoldingTimeAnalysis.from_result(
+                result, busy_hours=run.config.busy_hours
+            )
+            for (link, scheme), result in run.latent_heat_results().items()
+        }
+        return cls(analyses)
+
+    def histograms(self) -> dict[str, Histogram]:
+        """One Fig. 1(c) histogram per curve."""
+        return {
+            label: analysis.histogram()
+            for label, analysis in self.analyses.items()
+        }
+
+    def render(self) -> str:
+        parts = []
+        for label, histogram in self.histograms().items():
+            parts.append(histogram_chart(
+                histogram.centers, histogram.counts,
+                title=(f"Fig 1(c): average holding time in elephant state "
+                       f"[{label}] (5-min slots, busy period)"),
+            ))
+        return "\n\n".join(parts)
+
+    def mean_holding_slots(self) -> dict[str, float]:
+        """Population mean holding time per curve (paper: ~24 slots)."""
+        return {
+            label: float(analysis.per_flow_mean_slots.mean())
+            if analysis.per_flow_mean_slots.size else float("nan")
+            for label, analysis in self.analyses.items()
+        }

@@ -1,0 +1,97 @@
+"""The paper's in-text statistics (claims T1, T2, T3 in DESIGN.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.holding import HoldingTimeAnalysis
+from repro.analysis.prefixes import PrefixLengthReport
+from repro.core.engine import Feature, Scheme
+from repro.experiments.runner import LINK_NAMES, PaperRun
+
+
+@dataclass(frozen=True)
+class VolatilityStats:
+    """Holding-time volatility of one (link, scheme, feature) run."""
+
+    link: str
+    scheme: str
+    feature: str
+    mean_holding_minutes: float
+    single_interval_flows: int
+    flows_ever_elephant: int
+
+
+def volatility_grid(run: PaperRun, feature: Feature) -> list[VolatilityStats]:
+    """T1/T2: volatility stats for every link × scheme at one feature."""
+    stats = []
+    for link in LINK_NAMES:
+        for scheme in Scheme:
+            result = run.result(link, scheme, feature)
+            analysis = HoldingTimeAnalysis.from_result(
+                result, busy_hours=run.config.busy_hours
+            )
+            stats.append(VolatilityStats(
+                link=link,
+                scheme=scheme.value,
+                feature=feature.value,
+                mean_holding_minutes=analysis.mean_minutes,
+                single_interval_flows=analysis.single_interval_flows,
+                flows_ever_elephant=analysis.per_flow_mean_slots.size,
+            ))
+    return stats
+
+
+@dataclass(frozen=True)
+class SingleVsTwoFeature:
+    """The paper's headline contrast, averaged over links and schemes."""
+
+    single_mean_holding_minutes: float
+    latent_mean_holding_minutes: float
+    single_one_slot_flows: float
+    latent_one_slot_flows: float
+
+    @classmethod
+    def from_run(cls, run: PaperRun) -> "SingleVsTwoFeature":
+        single = volatility_grid(run, Feature.SINGLE)
+        latent = volatility_grid(run, Feature.LATENT_HEAT)
+        return cls(
+            single_mean_holding_minutes=float(np.mean(
+                [s.mean_holding_minutes for s in single]
+            )),
+            latent_mean_holding_minutes=float(np.mean(
+                [s.mean_holding_minutes for s in latent]
+            )),
+            single_one_slot_flows=float(np.mean(
+                [s.single_interval_flows for s in single]
+            )),
+            latent_one_slot_flows=float(np.mean(
+                [s.single_interval_flows for s in latent]
+            )),
+        )
+
+    @property
+    def holding_gain(self) -> float:
+        """Latent-heat holding time relative to single-feature."""
+        return (self.latent_mean_holding_minutes
+                / self.single_mean_holding_minutes)
+
+    @property
+    def one_slot_reduction(self) -> float:
+        """Collapse factor of single-interval elephants."""
+        if self.latent_one_slot_flows == 0:
+            return float("inf")
+        return self.single_one_slot_flows / self.latent_one_slot_flows
+
+
+def prefix_reports(run: PaperRun,
+                   scheme: Scheme = Scheme.AEST) -> dict[str, PrefixLengthReport]:
+    """T3: prefix-length structure of the latent-heat elephants."""
+    return {
+        link: PrefixLengthReport.from_result(
+            run.result(link, scheme, Feature.LATENT_HEAT)
+        )
+        for link in LINK_NAMES
+    }

@@ -1,0 +1,29 @@
+"""Flow accounting: time axes, rate matrices, packet aggregation."""
+
+from repro.flows.aggregate import (
+    AggregationStats,
+    FlowAggregator,
+    aggregate_pcap,
+)
+from repro.flows.granularity import (
+    AsAggregation,
+    aggregate_fixed_length,
+    aggregate_origin_as,
+    granularity_sweep,
+)
+from repro.flows.matrix import RateMatrix
+from repro.flows.records import DEFAULT_SLOT_SECONDS, FlowRecord, TimeAxis
+
+__all__ = [
+    "AggregationStats",
+    "AsAggregation",
+    "DEFAULT_SLOT_SECONDS",
+    "FlowAggregator",
+    "FlowRecord",
+    "RateMatrix",
+    "TimeAxis",
+    "aggregate_fixed_length",
+    "aggregate_origin_as",
+    "aggregate_pcap",
+    "granularity_sweep",
+]

@@ -1,0 +1,124 @@
+"""Packets → prefix-flow bandwidths.
+
+This is the measurement front-end the paper's monitoring infrastructure
+performed: every captured packet is mapped to its BGP destination prefix
+by longest-prefix match, and byte counts are accumulated per prefix per
+measurement slot. Dividing by the slot length yields ``x_i(t)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ClassificationError
+from repro.flows.matrix import RateMatrix
+from repro.flows.records import FlowRecord, TimeAxis
+from repro.net.prefix import Prefix
+from repro.pcap.packet import PacketSummary
+from repro.pcap.pcapfile import PcapReader
+from repro.pcap.packet import summarize_record
+from repro.routing.rib import RoutingTable
+
+
+@dataclass
+class AggregationStats:
+    """Bookkeeping from one aggregation run."""
+
+    packets_seen: int = 0
+    packets_matched: int = 0
+    packets_unrouted: int = 0
+    packets_outside_axis: int = 0
+    bytes_matched: int = 0
+
+    @property
+    def match_rate(self) -> float:
+        """Fraction of packets that resolved to a prefix."""
+        if self.packets_seen == 0:
+            return 0.0
+        return self.packets_matched / self.packets_seen
+
+
+@dataclass
+class FlowAggregator:
+    """Accumulate packet summaries into per-prefix, per-slot byte counts.
+
+    Flows are keyed by the longest-matching RIB prefix. Packets whose
+    destination has no route, or whose timestamp falls outside the axis,
+    are counted in :attr:`stats` but otherwise dropped — exactly what a
+    passive monitor does with unroutable traffic.
+    """
+
+    table: RoutingTable
+    axis: TimeAxis
+    stats: AggregationStats = field(default_factory=AggregationStats)
+
+    def __post_init__(self) -> None:
+        self._bytes: dict[Prefix, np.ndarray] = {}
+        self._records: dict[Prefix, FlowRecord] = {}
+
+    def add(self, packet: PacketSummary) -> bool:
+        """Account one packet; returns ``True`` if it was matched."""
+        self.stats.packets_seen += 1
+        if not (self.axis.start <= packet.timestamp < self.axis.end):
+            self.stats.packets_outside_axis += 1
+            return False
+        route = self.table.resolve(packet.destination)
+        if route is None:
+            self.stats.packets_unrouted += 1
+            return False
+        prefix = route.prefix
+        slot = self.axis.slot_of(packet.timestamp)
+        if prefix not in self._bytes:
+            self._bytes[prefix] = np.zeros(self.axis.num_slots)
+            self._records[prefix] = FlowRecord(prefix)
+        self._bytes[prefix][slot] += packet.wire_bytes
+        self._records[prefix].add_packet(packet.timestamp, packet.wire_bytes)
+        self.stats.packets_matched += 1
+        self.stats.bytes_matched += packet.wire_bytes
+        return True
+
+    def add_all(self, packets: Iterable[PacketSummary]) -> int:
+        """Account a stream of packets; returns the matched count."""
+        matched = 0
+        for packet in packets:
+            if self.add(packet):
+                matched += 1
+        return matched
+
+    def flow_records(self) -> list[FlowRecord]:
+        """Per-flow accounting records, sorted by prefix."""
+        return [self._records[p] for p in sorted(self._records)]
+
+    def to_rate_matrix(self, include_all_routes: bool = False) -> RateMatrix:
+        """Finish aggregation and emit the rate matrix (bits/second).
+
+        With ``include_all_routes`` every RIB prefix gets a row (all-zero
+        when it never received traffic), which matches the fluid
+        simulator's convention of stable flow identity; otherwise only
+        prefixes that actually received packets appear.
+        """
+        if include_all_routes:
+            prefixes = self.table.prefixes()
+        else:
+            prefixes = sorted(self._bytes)
+        if not prefixes:
+            raise ClassificationError("no flows to build a matrix from")
+        rates = np.zeros((len(prefixes), self.axis.num_slots))
+        for row, prefix in enumerate(prefixes):
+            counts = self._bytes.get(prefix)
+            if counts is not None:
+                rates[row, :] = counts * 8.0 / self.axis.slot_seconds
+        return RateMatrix(list(prefixes), self.axis, rates)
+
+
+def aggregate_pcap(path: str, table: RoutingTable,
+                   axis: TimeAxis) -> tuple[RateMatrix, AggregationStats]:
+    """Convenience: read a pcap file and aggregate it into a rate matrix."""
+    aggregator = FlowAggregator(table, axis)
+    with PcapReader.open(path) as reader:
+        for record in reader:
+            aggregator.add(summarize_record(record, reader.linktype))
+    return aggregator.to_rate_matrix(), aggregator.stats

@@ -1,0 +1,108 @@
+"""Alternative flow granularities.
+
+The paper's introduction surveys elephants-and-mice findings "at the
+level of network prefixes, fixed length prefixes, TCP flows, ASes";
+its own flow key is the BGP prefix. This module rolls a BGP-granularity
+rate matrix up to the coarser granularities so the classification
+schemes can be compared across definitions of "flow":
+
+- :func:`aggregate_fixed_length` — fixed-length prefixes (/8, /16, ...),
+- :func:`aggregate_origin_as` — BGP origin AS (via the RIB).
+
+Rolling up is exact for bandwidths: the rate of a coarse key is the sum
+of the rates of its members in every slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClassificationError
+from repro.flows.matrix import RateMatrix
+from repro.net import ipv4
+from repro.net.prefix import Prefix
+from repro.routing.rib import RoutingTable
+
+
+def aggregate_fixed_length(matrix: RateMatrix, length: int) -> RateMatrix:
+    """Roll the matrix up to fixed-length prefixes of ``length`` bits.
+
+    Rows whose prefix is *shorter* than ``length`` cannot be split
+    without making up data, so they are kept as their own (shorter)
+    keys; rows at or below ``length`` are merged into their enclosing
+    ``/length`` prefix. This mirrors how fixed-prefix studies handled
+    routing aggregates.
+    """
+    if not 0 <= length <= ipv4.ADDRESS_BITS:
+        raise ClassificationError(f"length {length} outside 0..32")
+    groups: dict[Prefix, list[int]] = {}
+    for row, prefix in enumerate(matrix.prefixes):
+        if prefix.length <= length:
+            key = prefix
+        else:
+            key = Prefix.from_host(prefix.network, length)
+        groups.setdefault(key, []).append(row)
+    return _merge_groups(matrix, groups)
+
+
+@dataclass(frozen=True)
+class AsAggregation:
+    """Result of an origin-AS rollup: matrix plus key metadata.
+
+    The synthetic ``Prefix`` keys in ``matrix`` are placeholders (an AS
+    is not an address range); ``as_numbers`` maps each row to its origin
+    AS number.
+    """
+
+    matrix: RateMatrix
+    as_numbers: list[int]
+
+
+def aggregate_origin_as(matrix: RateMatrix,
+                        table: RoutingTable) -> AsAggregation:
+    """Roll the matrix up to BGP origin ASes.
+
+    Every prefix row is attributed to the origin AS of its RIB entry;
+    prefixes without a route are rejected loudly (they cannot happen in
+    a matrix produced by this library's simulator or aggregator).
+    """
+    by_as: dict[int, list[int]] = {}
+    for row, prefix in enumerate(matrix.prefixes):
+        route = table.route_for(prefix)
+        if route is None:
+            raise ClassificationError(f"no route for prefix {prefix}")
+        by_as.setdefault(route.origin_as.number, []).append(row)
+
+    ordered_ases = sorted(by_as)
+    rates = np.zeros((len(ordered_ases), matrix.num_slots))
+    for index, asn in enumerate(ordered_ases):
+        rates[index] = matrix.rates[by_as[asn], :].sum(axis=0)
+    # Placeholder keys: one /32 per AS in the reserved 240/4 block,
+    # which can never collide with real route prefixes.
+    placeholders = [
+        Prefix((0xF0 << 24) | index, 32)
+        for index in range(len(ordered_ases))
+    ]
+    rolled = RateMatrix(placeholders, matrix.axis, rates)
+    return AsAggregation(matrix=rolled, as_numbers=ordered_ases)
+
+
+def _merge_groups(matrix: RateMatrix,
+                  groups: dict[Prefix, list[int]]) -> RateMatrix:
+    ordered_keys = sorted(groups)
+    rates = np.zeros((len(ordered_keys), matrix.num_slots))
+    for index, key in enumerate(ordered_keys):
+        rates[index] = matrix.rates[groups[key], :].sum(axis=0)
+    return RateMatrix(ordered_keys, matrix.axis, rates)
+
+
+def granularity_sweep(matrix: RateMatrix,
+                      lengths: tuple[int, ...] = (8, 16, 24)
+                      ) -> dict[str, RateMatrix]:
+    """The matrices for a granularity comparison, keyed by label."""
+    out: dict[str, RateMatrix] = {"bgp-prefix": matrix}
+    for length in lengths:
+        out[f"/{length}"] = aggregate_fixed_length(matrix, length)
+    return out

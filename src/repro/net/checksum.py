@@ -1,0 +1,60 @@
+"""The Internet checksum (RFC 1071) used by IPv4, TCP and UDP headers.
+
+Implemented over ``bytes`` with the standard fold-the-carries formulation.
+The one's-complement sum is commutative and byte-order sensitive in the
+usual network (big-endian) convention.
+"""
+
+from __future__ import annotations
+
+
+def ones_complement_sum(data: bytes) -> int:
+    """Return the 16-bit one's-complement sum of ``data``.
+
+    Odd-length input is padded with a zero byte on the right, as RFC 1071
+    specifies.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+    # Fold carries until the value fits in 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the Internet checksum of ``data``.
+
+    The result is the one's complement of the one's-complement sum,
+    as a 16-bit integer ready to be stored in a header field.
+    """
+    return ones_complement_sum(data) ^ 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """Return ``True`` if ``data`` (checksum field included) verifies.
+
+    A buffer whose embedded checksum is correct sums to ``0xFFFF``.
+    """
+    return ones_complement_sum(data) == 0xFFFF
+
+
+def pseudo_header(source: int, destination: int, protocol: int,
+                  length: int) -> bytes:
+    """Build the IPv4 pseudo-header used by TCP/UDP checksums.
+
+    ``source`` and ``destination`` are integer IPv4 addresses,
+    ``protocol`` the IP protocol number, and ``length`` the transport
+    segment length (header plus payload).
+    """
+    return bytes((
+        (source >> 24) & 0xFF, (source >> 16) & 0xFF,
+        (source >> 8) & 0xFF, source & 0xFF,
+        (destination >> 24) & 0xFF, (destination >> 16) & 0xFF,
+        (destination >> 8) & 0xFF, destination & 0xFF,
+        0, protocol & 0xFF,
+        (length >> 8) & 0xFF, length & 0xFF,
+    ))

@@ -1,0 +1,58 @@
+"""MAC (EUI-48) address helpers for the Ethernet codec.
+
+MAC addresses are represented as 6-byte ``bytes`` objects on the wire and
+as integers where arithmetic is convenient.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+
+#: Length of an EUI-48 address in bytes.
+MAC_LENGTH = 6
+
+#: The broadcast address ff:ff:ff:ff:ff:ff.
+BROADCAST = b"\xff" * MAC_LENGTH
+
+
+def parse_mac(text: str) -> bytes:
+    """Parse ``"aa:bb:cc:dd:ee:ff"`` (or ``-`` separated) into 6 bytes."""
+    cleaned = text.strip().replace("-", ":")
+    parts = cleaned.split(":")
+    if len(parts) != MAC_LENGTH:
+        raise AddressError(f"expected six octets in MAC {text!r}")
+    try:
+        octets = bytes(int(part, 16) for part in parts)
+    except ValueError as exc:
+        raise AddressError(f"bad hex octet in MAC {text!r}") from exc
+    if any(len(part) not in (1, 2) for part in parts):
+        raise AddressError(f"bad octet width in MAC {text!r}")
+    return octets
+
+
+def format_mac(mac: bytes) -> str:
+    """Format 6 raw bytes as lowercase colon-separated hex."""
+    if len(mac) != MAC_LENGTH:
+        raise AddressError(f"MAC must be {MAC_LENGTH} bytes, got {len(mac)}")
+    return ":".join(f"{octet:02x}" for octet in mac)
+
+
+def mac_from_int(value: int) -> bytes:
+    """Convert an integer in ``[0, 2**48)`` to 6 raw bytes."""
+    if not 0 <= value < (1 << 48):
+        raise AddressError(f"MAC integer {value!r} out of range")
+    return value.to_bytes(MAC_LENGTH, "big")
+
+
+def mac_to_int(mac: bytes) -> int:
+    """Convert 6 raw bytes to an integer."""
+    if len(mac) != MAC_LENGTH:
+        raise AddressError(f"MAC must be {MAC_LENGTH} bytes, got {len(mac)}")
+    return int.from_bytes(mac, "big")
+
+
+def is_multicast(mac: bytes) -> bool:
+    """Return ``True`` if the group bit (LSB of first octet) is set."""
+    if len(mac) != MAC_LENGTH:
+        raise AddressError(f"MAC must be {MAC_LENGTH} bytes, got {len(mac)}")
+    return bool(mac[0] & 0x01)

@@ -1,0 +1,122 @@
+"""The :class:`Prefix` type: an IPv4 CIDR network used as a flow key.
+
+The paper aggregates traffic at the granularity of BGP destination network
+prefixes, so prefixes are the primary flow identifiers throughout the
+library. :class:`Prefix` is immutable, hashable, and totally ordered
+(first by network address, then by length), which makes it usable as a
+dict key and sortable for deterministic reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import AddressError
+from repro.net import ipv4
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 network prefix ``network/length``.
+
+    ``network`` must have all host bits zero; the constructor enforces
+    this so that two logically equal prefixes always compare equal.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= ipv4.ADDRESS_BITS:
+            raise AddressError(f"prefix length {self.length} out of range 0..32")
+        if not 0 <= self.network <= ipv4.MAX_ADDRESS:
+            raise AddressError(f"network {self.network!r} out of IPv4 range")
+        if not ipv4.is_network_address(self.network, self.length):
+            raise AddressError(
+                f"{ipv4.format_ipv4(self.network)}/{self.length} has host bits set"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (or a bare address, meaning /32)."""
+        text = text.strip()
+        if "/" in text:
+            addr_text, _, len_text = text.partition("/")
+            if not len_text.isdigit():
+                raise AddressError(f"bad prefix length in {text!r}")
+            length = int(len_text)
+        else:
+            addr_text, length = text, ipv4.ADDRESS_BITS
+        address = ipv4.parse_ipv4(addr_text)
+        if not ipv4.is_network_address(address, length):
+            raise AddressError(f"{text!r} has host bits set")
+        return cls(address, length)
+
+    @classmethod
+    def from_host(cls, address: int, length: int) -> "Prefix":
+        """Build the prefix of ``length`` bits containing ``address``."""
+        return cls(ipv4.network_address(address, length), length)
+
+    def __str__(self) -> str:
+        return f"{ipv4.format_ipv4(self.network)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    @property
+    def netmask(self) -> int:
+        """Integer netmask of this prefix."""
+        return ipv4.netmask(self.length)
+
+    @property
+    def broadcast(self) -> int:
+        """Highest address covered by this prefix."""
+        return ipv4.broadcast_address(self.network, self.length)
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered (``2**(32-length)``)."""
+        return 1 << (ipv4.ADDRESS_BITS - self.length)
+
+    def contains_address(self, address: int) -> bool:
+        """Return ``True`` if ``address`` falls inside this prefix."""
+        return ipv4.network_address(address, self.length) == self.network
+
+    def contains(self, other: "Prefix") -> bool:
+        """Return ``True`` if ``other`` is equal to or more specific."""
+        return (
+            other.length >= self.length
+            and ipv4.network_address(other.network, self.length) == self.network
+        )
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """Return ``True`` if the address ranges intersect at all."""
+        return self.contains(other) or other.contains(self)
+
+    def supernet(self, new_length: int | None = None) -> "Prefix":
+        """Return the enclosing prefix of ``new_length`` (default one bit shorter)."""
+        if new_length is None:
+            new_length = self.length - 1
+        if not 0 <= new_length <= self.length:
+            raise AddressError(
+                f"supernet length {new_length} invalid for /{self.length}"
+            )
+        return Prefix.from_host(self.network, new_length)
+
+    def subnets(self) -> Iterator["Prefix"]:
+        """Yield the two halves of this prefix (one bit longer each)."""
+        if self.length >= ipv4.ADDRESS_BITS:
+            raise AddressError("cannot subnet a /32")
+        child_length = self.length + 1
+        yield Prefix(self.network, child_length)
+        yield Prefix(self.network | (1 << (ipv4.ADDRESS_BITS - child_length)),
+                     child_length)
+
+    def bit_at(self, position: int) -> int:
+        """Bit ``position`` (from MSB) of the network address."""
+        return ipv4.bit_at(self.network, position)
+
+
+#: The default route, matching every address.
+DEFAULT_ROUTE = Prefix(0, 0)

@@ -1,0 +1,23 @@
+"""BGP routing substrate: radix-trie LPM, RIB model, synthetic tables."""
+
+from repro.routing.aspath import AsPath, AsTier, AutonomousSystem
+from repro.routing.radix import RadixTree, brute_force_lookup
+from repro.routing.rib import Route, RoutingTable
+from repro.routing.ribgen import (
+    DEFAULT_LENGTH_WEIGHTS,
+    RibGeneratorConfig,
+    generate_rib,
+)
+
+__all__ = [
+    "AsPath",
+    "AsTier",
+    "AutonomousSystem",
+    "DEFAULT_LENGTH_WEIGHTS",
+    "RadixTree",
+    "RibGeneratorConfig",
+    "Route",
+    "RoutingTable",
+    "brute_force_lookup",
+    "generate_rib",
+]

@@ -1,0 +1,28 @@
+"""Classic heavy-hitter baselines (extension beyond the paper).
+
+Misra–Gries, Space-Saving, Count-Min and Sample-and-Hold, plus adapters
+that run them per slot so their volatility can be compared against the
+paper's latent-heat elephants.
+"""
+
+from repro.sketches.compare import (
+    SketchRun,
+    exact_top_k_per_slot,
+    mask_agreement,
+    space_saving_per_slot,
+)
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.misra_gries import MisraGries
+from repro.sketches.sample_hold import SampleAndHold
+from repro.sketches.space_saving import SpaceSaving
+
+__all__ = [
+    "CountMinSketch",
+    "MisraGries",
+    "SampleAndHold",
+    "SketchRun",
+    "SpaceSaving",
+    "exact_top_k_per_slot",
+    "mask_agreement",
+    "space_saving_per_slot",
+]

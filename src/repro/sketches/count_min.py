@@ -1,0 +1,81 @@
+"""The Count-Min sketch (Cormode & Muthukrishnan, 2005).
+
+A fixed-memory frequency sketch with one-sided (over-)estimation error
+``epsilon * total`` with probability ``1 - delta``. Included as the
+hashing-based member of the heavy-hitter baseline family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import ClassificationError
+
+#: Large Mersenne prime used for the pairwise-independent hash family.
+_PRIME = (1 << 61) - 1
+
+
+class CountMinSketch:
+    """Count-Min sketch with ``depth`` rows and ``width`` columns.
+
+    Hashes are drawn from the classic ``(a * x + b) mod p mod width``
+    pairwise-independent family with a seeded generator, so sketches are
+    reproducible.
+    """
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        if width < 1 or depth < 1:
+            raise ClassificationError("width and depth must be >= 1")
+        self.width = width
+        self.depth = depth
+        rng = np.random.default_rng(seed)
+        self._a = rng.integers(1, _PRIME, size=depth, dtype=np.int64)
+        self._b = rng.integers(0, _PRIME, size=depth, dtype=np.int64)
+        self._table = np.zeros((depth, width), dtype=float)
+        self._total = 0.0
+
+    @classmethod
+    def from_error_bounds(cls, epsilon: float, delta: float,
+                          seed: int = 0) -> "CountMinSketch":
+        """Size the sketch for error ``epsilon·total`` w.p. ``1 − delta``."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ClassificationError("epsilon and delta must be in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=depth, seed=seed)
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight offered so far."""
+        return self._total
+
+    def _rows(self, key: Hashable) -> np.ndarray:
+        digest = hash(key) & 0x7FFFFFFFFFFFFFFF
+        return ((self._a * digest + self._b) % _PRIME) % self.width
+
+    def update(self, key: Hashable, weight: float = 1.0) -> None:
+        """Add ``weight`` of ``key``."""
+        if weight < 0:
+            raise ClassificationError("weights must be non-negative")
+        if weight == 0:
+            return
+        self._total += weight
+        columns = self._rows(key)
+        self._table[np.arange(self.depth), columns] += weight
+
+    def estimate(self, key: Hashable) -> float:
+        """Upper-bound estimate (min over rows)."""
+        columns = self._rows(key)
+        return float(self._table[np.arange(self.depth), columns].min())
+
+    def error_bound(self, confidence_rows: int | None = None) -> float:
+        """Expected over-estimate bound ``e / width * total``."""
+        del confidence_rows  # single formula regardless of depth
+        return math.e / self.width * self._total
+
+    def memory_cells(self) -> int:
+        """Number of counters held."""
+        return self.width * self.depth

@@ -1,0 +1,90 @@
+"""The Misra–Gries frequent-items summary (1982).
+
+The grandfather of deterministic heavy-hitter detection: with ``k - 1``
+counters it finds every item whose weight exceeds ``total / k``. Used
+here as a per-slot heavy-hitter baseline to contrast with the paper's
+persistence-aware elephants.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, TypeVar
+
+from repro.errors import ClassificationError
+
+K = TypeVar("K", bound=Hashable)
+
+
+class MisraGries(Generic[K]):
+    """Weighted Misra–Gries summary with ``capacity`` counters.
+
+    Guarantees: for every key, ``estimate(key)`` underestimates the true
+    weight by at most ``error_bound()``; any key with true weight above
+    ``total_weight / (capacity + 1)`` is retained.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ClassificationError("capacity must be >= 1")
+        self.capacity = capacity
+        self._counters: dict[K, float] = {}
+        self._total = 0.0
+        self._decrement_total = 0.0
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight offered so far."""
+        return self._total
+
+    def update(self, key: K, weight: float = 1.0) -> None:
+        """Add ``weight`` of ``key`` to the summary."""
+        if weight < 0:
+            raise ClassificationError("weights must be non-negative")
+        if weight == 0:
+            return
+        self._total += weight
+        counters = self._counters
+        if key in counters:
+            counters[key] += weight
+            return
+        if len(counters) < self.capacity:
+            counters[key] = weight
+            return
+        # Decrement all counters by the smallest amount that frees a slot
+        # (the weighted generalisation of the classic -1 step).
+        decrement = min(weight, min(counters.values()))
+        self._decrement_total += decrement
+        for existing in list(counters):
+            counters[existing] -= decrement
+            if counters[existing] <= 0:
+                del counters[existing]
+        remaining = weight - decrement
+        if remaining > 0:
+            counters[key] = remaining
+
+    def estimate(self, key: K) -> float:
+        """Lower-bound estimate of ``key``'s weight (0 when untracked)."""
+        return self._counters.get(key, 0.0)
+
+    def error_bound(self) -> float:
+        """Maximum undercount of any estimate."""
+        return self._decrement_total
+
+    def heavy_hitters(self, threshold_weight: float) -> dict[K, float]:
+        """Keys whose *true* weight may exceed ``threshold_weight``.
+
+        Returns tracked keys whose estimate plus the error bound clears
+        the threshold — the standard no-false-negative read-out.
+        """
+        bound = self.error_bound()
+        return {
+            key: value for key, value in self._counters.items()
+            if value + bound > threshold_weight
+        }
+
+    def items(self) -> dict[K, float]:
+        """All tracked keys with their (under-)estimates."""
+        return dict(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)

@@ -1,0 +1,101 @@
+"""The Space-Saving algorithm (Metwally, Agrawal, El Abbadi, 2005).
+
+The de-facto standard top-k heavy-hitter structure in open-source
+traffic monitors. Tracks exactly ``capacity`` keys; on overflow the
+minimum-count key is evicted and the newcomer inherits its count as
+over-estimation error.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, Hashable, TypeVar
+
+from repro.errors import ClassificationError
+
+K = TypeVar("K", bound=Hashable)
+
+
+class SpaceSaving(Generic[K]):
+    """Weighted Space-Saving summary with ``capacity`` monitored keys.
+
+    Guarantees: ``estimate(key) >= true weight`` for monitored keys, and
+    the over-estimate is bounded by the smallest monitored count.
+    Implemented with a lazy heap over (count, key) plus a dict for O(1)
+    updates.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ClassificationError("capacity must be >= 1")
+        self.capacity = capacity
+        self._counts: dict[K, float] = {}
+        self._errors: dict[K, float] = {}
+        self._heap: list[tuple[float, K]] = []
+        self._total = 0.0
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight offered so far."""
+        return self._total
+
+    def update(self, key: K, weight: float = 1.0) -> None:
+        """Add ``weight`` of ``key``."""
+        if weight < 0:
+            raise ClassificationError("weights must be non-negative")
+        if weight == 0:
+            return
+        self._total += weight
+        if key in self._counts:
+            self._counts[key] += weight
+            heapq.heappush(self._heap, (self._counts[key], key))
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = weight
+            self._errors[key] = 0.0
+            heapq.heappush(self._heap, (weight, key))
+            return
+        victim, victim_count = self._pop_minimum()
+        del self._counts[victim]
+        del self._errors[victim]
+        self._counts[key] = victim_count + weight
+        self._errors[key] = victim_count
+        heapq.heappush(self._heap, (self._counts[key], key))
+
+    def _pop_minimum(self) -> tuple[K, float]:
+        """Find the currently smallest monitored key (lazy heap)."""
+        while self._heap:
+            count, key = heapq.heappop(self._heap)
+            current = self._counts.get(key)
+            if current is not None and current == count:
+                return key, count
+        # Heap exhausted by staleness: rebuild from the dict.
+        key = min(self._counts, key=self._counts.__getitem__)
+        return key, self._counts[key]
+
+    def estimate(self, key: K) -> float:
+        """Upper-bound estimate of ``key``'s weight (0 when untracked)."""
+        return self._counts.get(key, 0.0)
+
+    def guaranteed(self, key: K) -> float:
+        """Lower bound: estimate minus the key's inherited error."""
+        if key not in self._counts:
+            return 0.0
+        return self._counts[key] - self._errors[key]
+
+    def top_k(self, k: int) -> list[tuple[K, float]]:
+        """The ``k`` largest monitored keys as ``(key, estimate)``."""
+        if k < 0:
+            raise ClassificationError("k must be non-negative")
+        ordered = sorted(self._counts.items(), key=lambda item: -item[1])
+        return ordered[:k]
+
+    def heavy_hitters(self, threshold_weight: float) -> dict[K, float]:
+        """Monitored keys whose estimate exceeds ``threshold_weight``."""
+        return {
+            key: count for key, count in self._counts.items()
+            if count > threshold_weight
+        }
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,44 @@
+"""Statistical machinery: ECDF/LLCD, EWMA, Hill and aest tail estimators."""
+
+from repro.stats.aest import (
+    AestConfig,
+    AestResult,
+    aest,
+    aest_tail_onset,
+    aggregate_sums,
+)
+from repro.stats.ecdf import ShareCurve, ccdf, ecdf, llcd_points, quantile
+from repro.stats.ewma import Ewma, smooth_series
+from repro.stats.histogram import (
+    Histogram,
+    integer_histogram,
+    log_spaced_histogram,
+)
+from repro.stats.tail import (
+    hill_estimator,
+    hill_plot,
+    mass_share_of_top,
+    top_fraction_for_share,
+)
+
+__all__ = [
+    "AestConfig",
+    "AestResult",
+    "Ewma",
+    "Histogram",
+    "ShareCurve",
+    "aest",
+    "aest_tail_onset",
+    "aggregate_sums",
+    "ccdf",
+    "ecdf",
+    "hill_estimator",
+    "hill_plot",
+    "integer_histogram",
+    "llcd_points",
+    "log_spaced_histogram",
+    "mass_share_of_top",
+    "quantile",
+    "smooth_series",
+    "top_fraction_for_share",
+]

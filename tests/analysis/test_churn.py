@@ -1,0 +1,52 @@
+"""Unit tests for churn metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.churn import (
+    ChurnReport,
+    _mean_consecutive_overlap,
+    churn_reduction,
+)
+from repro.core.engine import Feature, Scheme
+
+
+class TestOverlap:
+    def test_identical_sets(self):
+        mask = np.ones((3, 4), dtype=bool)
+        assert _mean_consecutive_overlap(mask) == 1.0
+
+    def test_disjoint_sets(self):
+        mask = np.array([
+            [True, False, True, False],
+            [False, True, False, True],
+        ])
+        assert _mean_consecutive_overlap(mask) == 0.0
+
+    def test_single_slot(self):
+        assert _mean_consecutive_overlap(np.ones((3, 1), bool)) == 1.0
+
+    def test_empty_slots_skipped(self):
+        mask = np.zeros((2, 3), dtype=bool)
+        assert _mean_consecutive_overlap(mask) == 1.0
+
+
+class TestChurnReport:
+    def test_from_result(self, small_grid):
+        result = small_grid[(Scheme.CONSTANT_LOAD, Feature.SINGLE)]
+        report = ChurnReport.from_result(result)
+        assert report.total_transitions > 0
+        assert 0.0 <= report.class_overlap <= 1.0
+        assert report.transitions_per_slot == pytest.approx(
+            report.total_transitions / result.matrix.num_slots
+        )
+
+    def test_latent_heat_reduces_churn(self, small_grid):
+        """The design goal of the latent-heat feature, quantified."""
+        for scheme in Scheme:
+            single = small_grid[(scheme, Feature.SINGLE)]
+            latent = small_grid[(scheme, Feature.LATENT_HEAT)]
+            assert churn_reduction(single, latent) > 2.0
+            single_report = ChurnReport.from_result(single)
+            latent_report = ChurnReport.from_result(latent)
+            assert latent_report.class_overlap > single_report.class_overlap

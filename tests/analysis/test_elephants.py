@@ -1,0 +1,89 @@
+"""Unit tests for per-slot elephant metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.elephants import (
+    ElephantSeries,
+    working_hours_lift,
+    working_hours_mask,
+)
+from repro.core.engine import Feature, Scheme
+
+
+class TestElephantSeries:
+    def test_from_result(self, small_grid):
+        result = small_grid[(Scheme.CONSTANT_LOAD, Feature.LATENT_HEAT)]
+        series = ElephantSeries.from_result(result)
+        assert series.counts.size == result.matrix.num_slots
+        assert series.hours[0] == 0.0
+        assert series.mean_count == pytest.approx(
+            result.elephants_per_slot().mean()
+        )
+        assert 0.0 < series.mean_fraction < 1.0
+
+    def test_burstiness_of_known_series(self):
+        series = ElephantSeries(
+            label="x",
+            hours=np.arange(4, dtype=float),
+            counts=np.array([1.0, 1.0, 1.0, 5.0]),
+            traffic_fraction=np.full(4, 0.5),
+        )
+        assert series.burstiness() == pytest.approx(5.0 / 2.0)
+
+    def test_fraction_is_less_variable_than_counts(self, tiny_paper_run):
+        """The paper's Fig 1(b) observation, which needs a horizon with
+        real diurnal range to be meaningful."""
+        for link in ("west-coast", "east-coast"):
+            result = tiny_paper_run.result(link, Scheme.CONSTANT_LOAD,
+                                           Feature.LATENT_HEAT)
+            series = ElephantSeries.from_result(result)
+            assert series.fraction_stability() < series.count_variability()
+
+    def test_zero_series_edge_cases(self):
+        series = ElephantSeries(
+            label="empty",
+            hours=np.arange(3, dtype=float),
+            counts=np.zeros(3),
+            traffic_fraction=np.zeros(3),
+        )
+        assert series.burstiness() == 0.0
+        assert series.fraction_stability() == 0.0
+        assert series.count_variability() == 0.0
+
+
+class TestWorkingHours:
+    def test_mask_anchored_to_clock(self):
+        hours = np.array([0.0, 3.0, 12.0, 23.0, 24.0])
+        # Trace starts at 09:00: offsets map to 09:00, 12:00, 21:00,
+        # 08:00 (next day), 09:00 (next day).
+        mask = working_hours_mask(hours, start_hour_of_day=9.0)
+        assert mask.tolist() == [True, True, False, False, True]
+
+    def test_lift_quantifies_daytime_hump(self):
+        hours = np.arange(24, dtype=float)
+        counts = np.where(working_hours_mask(hours, 9.0), 100.0, 50.0)
+        series = ElephantSeries(
+            label="x", hours=hours, counts=counts,
+            traffic_fraction=np.full(24, 0.5),
+        )
+        assert working_hours_lift(series, 9.0) == pytest.approx(2.0)
+
+    def test_lift_degenerate_masks(self):
+        hours = np.array([0.0, 1.0])  # all inside working hours
+        series = ElephantSeries(
+            label="x", hours=hours, counts=np.array([1.0, 2.0]),
+            traffic_fraction=np.array([0.5, 0.5]),
+        )
+        assert working_hours_lift(series, 9.0) == 1.0
+
+    def test_west_lift_exceeds_east_lift(self, tiny_paper_run):
+        """Fig 1(a): the west-coast elephant count bursts during the
+        working day more than the east-coast one."""
+        from repro.analysis.elephants import ElephantSeries as Series
+        lifts = {}
+        for link in ("west-coast", "east-coast"):
+            result = tiny_paper_run.result(link, Scheme.CONSTANT_LOAD,
+                                           Feature.LATENT_HEAT)
+            lifts[link] = working_hours_lift(Series.from_result(result))
+        assert lifts["west-coast"] > lifts["east-coast"]

@@ -1,0 +1,56 @@
+"""Unit tests for text report rendering."""
+
+from repro.analysis.report import (
+    format_paper_comparison,
+    format_series_summary,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["short", 1], ["a-much-longer-name", 123456.0]],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.00123], [1234567.0], [float("nan")],
+                                     [0.5], [0.0]])
+        assert "0.00123" in table
+        assert "1.23e+06" in table
+        assert "nan" in table
+        assert "0.50" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestSeriesSummary:
+    def test_basic(self):
+        line = format_series_summary("load", [1.0, 2.0, 3.0])
+        assert "min=1" in line.replace("1.00", "1")
+        assert "n=3" in line
+
+    def test_empty(self):
+        assert "(empty)" in format_series_summary("load", [])
+
+
+class TestPaperComparison:
+    def test_three_columns(self):
+        text = format_paper_comparison([
+            ("holding time", "20-40 min", "27 min"),
+            ("single-slot flows", ">1000", "1100"),
+        ])
+        assert "paper vs measured" in text
+        assert "20-40 min" in text
+        assert "1100" in text

@@ -1,0 +1,68 @@
+"""Shared fixtures: small deterministic workloads and routing tables.
+
+Expensive artefacts are session-scoped; tests must treat them as
+read-only (copy before mutating).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ClassificationEngine, Feature, Scheme
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import PaperRun, run_paper_experiment
+from repro.routing.ribgen import RibGeneratorConfig, generate_rib
+from repro.traffic.diurnal import WEST_COAST_PROFILE
+from repro.traffic.flowmodel import FlowModelConfig
+from repro.traffic.linksim import LinkConfig, LinkWorkload, simulate_link
+
+
+@pytest.fixture(scope="session")
+def small_rib():
+    """A 300-route synthetic RIB with 20 forced /8s."""
+    return generate_rib(RibGeneratorConfig(
+        num_routes=300, num_slash8=20, num_stub=200, seed=7,
+    ))
+
+
+@pytest.fixture(scope="session")
+def small_link() -> LinkWorkload:
+    """A small but fully featured simulated link (600 flows, 72 slots)."""
+    config = LinkConfig(
+        name="test-link",
+        profile=WEST_COAST_PROFILE,
+        flow_model=FlowModelConfig(num_flows=600),
+        num_slots=72,
+        seed=123,
+    )
+    return simulate_link(config)
+
+
+@pytest.fixture(scope="session")
+def small_matrix(small_link: LinkWorkload):
+    """The small link's rate matrix."""
+    return small_link.matrix
+
+
+@pytest.fixture(scope="session")
+def small_grid(small_matrix):
+    """The 2×2 scheme × feature grid on the small link."""
+    engine = ClassificationEngine(small_matrix)
+    return {
+        (scheme, feature): engine.run(scheme, feature)
+        for scheme in Scheme
+        for feature in Feature
+    }
+
+
+@pytest.fixture(scope="session")
+def tiny_paper_run() -> PaperRun:
+    """A miniature full paper run (both links), for integration tests."""
+    return run_paper_experiment(ExperimentConfig(scale=0.08))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(20020811)

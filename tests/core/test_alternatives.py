@@ -1,0 +1,97 @@
+"""Unit tests for the alternative threshold schemes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.core.alternatives import (
+    CapacityFractionThreshold,
+    MeanPlusStdThreshold,
+    TopKThreshold,
+)
+from repro.core.single_feature import SingleFeatureClassifier
+
+
+class TestTopK:
+    def test_separates_exactly_k(self):
+        rates = np.array([100.0, 50.0, 25.0, 12.0, 6.0])
+        threshold = TopKThreshold(k=2).detect(rates)
+        assert (rates > threshold).sum() == 2
+
+    def test_fewer_flows_than_k(self):
+        rates = np.array([10.0, 5.0])
+        threshold = TopKThreshold(k=10).detect(rates)
+        assert (rates > threshold).sum() == 2
+
+    def test_zeros_ignored(self):
+        rates = np.array([0.0, 100.0, 0.0, 50.0, 25.0])
+        threshold = TopKThreshold(k=1).detect(rates)
+        assert (rates > threshold).sum() == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            TopKThreshold(k=1).detect(np.zeros(3))
+
+    def test_validation_and_name(self):
+        with pytest.raises(ValueError):
+            TopKThreshold(k=0)
+        assert TopKThreshold(k=7).name == "top-7"
+
+    def test_stable_count_on_simulated_link(self, small_matrix):
+        result = SingleFeatureClassifier(
+            TopKThreshold(k=40)).classify(small_matrix)
+        counts = result.elephants_per_slot()
+        # Smoothed thresholds wobble the count slightly around k.
+        assert 20 <= counts.mean() <= 60
+
+
+class TestCapacityFraction:
+    def test_threshold_is_absolute(self):
+        detector = CapacityFractionThreshold(capacity_bps=622e6,
+                                             fraction=0.001)
+        rates = np.array([1e6, 1e5, 1e4])
+        assert detector.detect(rates) == pytest.approx(622e3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityFractionThreshold(capacity_bps=0.0)
+        with pytest.raises(ValueError):
+            CapacityFractionThreshold(capacity_bps=1e9, fraction=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            CapacityFractionThreshold(1e9).detect(np.zeros(3))
+
+    def test_name(self):
+        assert CapacityFractionThreshold(1e9, 0.002).name == \
+            "capacity-0.002"
+
+
+class TestMeanPlusStd:
+    def test_formula(self):
+        rates = np.array([1.0, 1.0, 1.0, 1.0])
+        # std 0 -> threshold == mean
+        assert MeanPlusStdThreshold(k=3).detect(rates) == pytest.approx(1.0)
+
+    def test_isolates_outlier(self, rng):
+        rates = np.concatenate([rng.normal(100, 5, 500), [10_000.0]])
+        rates = np.abs(rates)
+        threshold = MeanPlusStdThreshold(k=3.0).detect(rates)
+        assert (rates > threshold).sum() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeanPlusStdThreshold(k=-1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            MeanPlusStdThreshold().detect(np.zeros(2))
+
+    def test_erratic_on_heavy_tails(self, rng):
+        """On Pareto slots the rule selects very few flows — the
+        behaviour that makes it unsuitable, which the comparison bench
+        reports."""
+        rates = (rng.pareto(1.1, 5000) + 1.0) * 1e4
+        threshold = MeanPlusStdThreshold(k=3.0).detect(rates)
+        selected = (rates > threshold).sum()
+        assert selected < 50

@@ -1,0 +1,158 @@
+"""Unit tests for the threshold tracker (detect + EWMA + fallback)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ClassificationError,
+    InsufficientDataError,
+    TailNotFoundError,
+)
+from repro.core.smoothing import ThresholdTracker, ThresholdSeries
+from repro.core.thresholds import ConstantLoadThreshold
+
+
+class FixedDetector:
+    """Detector returning scripted values (or raising on None)."""
+
+    name = "scripted"
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def detect(self, rates):
+        value = self._values.pop(0)
+        if value is None:
+            raise TailNotFoundError("scripted failure")
+        return value
+
+
+class FixedFallback:
+    name = "fixed-fallback"
+
+    def __init__(self, value):
+        self._value = value
+
+    def detect(self, rates):
+        return self._value
+
+
+def slot_rates(num_slots, num_flows=4):
+    return np.ones((num_flows, num_slots))
+
+
+class TestOnlineSemantics:
+    def test_slot0_uses_own_raw(self):
+        tracker = ThresholdTracker(FixedDetector([10.0]), alpha=0.9)
+        first = tracker.observe(np.ones(4))
+        assert first.raw == 10.0
+        assert first.smoothed == 10.0
+
+    def test_slot1_uses_ewma_of_history(self):
+        tracker = ThresholdTracker(FixedDetector([10.0, 20.0, 20.0]),
+                                   alpha=0.9)
+        tracker.observe(np.ones(4))
+        second = tracker.observe(np.ones(4))
+        # B̄(1) = 0.9 * 10 + 0.1 * 10 = 10 (only raw(0) known so far).
+        assert second.smoothed == pytest.approx(10.0)
+        third = tracker.observe(np.ones(4))
+        # B̄(2) = 0.9 * 10 + 0.1 * 20 = 11.
+        assert third.smoothed == pytest.approx(11.0)
+
+    def test_smoothed_threshold_lags_raw_jump(self):
+        values = [10.0] * 5 + [100.0] * 5
+        tracker = ThresholdTracker(FixedDetector(values), alpha=0.9)
+        results = [tracker.observe(np.ones(4)) for _ in range(10)]
+        smoothed = [r.smoothed for r in results]
+        # After the jump the smoothed series approaches 100 gradually.
+        assert smoothed[5] == pytest.approx(10.0)
+        assert smoothed[6] < 30.0
+        assert smoothed[-1] < 100.0
+        assert smoothed[-1] > smoothed[6]
+
+    def test_alpha_zero_tracks_previous_raw(self):
+        tracker = ThresholdTracker(FixedDetector([5.0, 9.0, 13.0]),
+                                   alpha=0.0)
+        tracker.observe(np.ones(4))
+        second = tracker.observe(np.ones(4))
+        assert second.smoothed == 5.0
+        third = tracker.observe(np.ones(4))
+        assert third.smoothed == 9.0
+
+
+class TestFallbacks:
+    def test_failure_uses_previous_raw(self):
+        tracker = ThresholdTracker(FixedDetector([10.0, None, 30.0]),
+                                   alpha=0.5)
+        tracker.observe(np.ones(4))
+        second = tracker.observe(np.ones(4))
+        assert second.raw == 10.0
+        assert second.fallback_used
+        assert tracker.fallback_slots == [1]
+
+    def test_failure_on_first_slot_uses_fallback_detector(self):
+        tracker = ThresholdTracker(
+            FixedDetector([None, 20.0]), alpha=0.5,
+            fallback=FixedFallback(7.0),
+        )
+        first = tracker.observe(np.ones(4))
+        assert first.raw == 7.0
+        assert first.fallback_used
+
+    def test_insufficient_data_also_falls_back(self):
+        class Failing:
+            name = "failing"
+
+            def detect(self, rates):
+                raise InsufficientDataError("nope")
+
+        tracker = ThresholdTracker(Failing(), alpha=0.5,
+                                   fallback=FixedFallback(3.0))
+        result = tracker.observe(np.ones(4))
+        assert result.raw == 3.0
+
+    def test_bad_threshold_value_rejected(self):
+        tracker = ThresholdTracker(FixedDetector([-1.0]), alpha=0.5)
+        with pytest.raises(ClassificationError):
+            tracker.observe(np.ones(4))
+
+
+class TestRunAndSeries:
+    def test_run_over_matrix(self):
+        rates = np.abs(np.random.default_rng(0).normal(
+            1000, 100, size=(50, 6))) + 1.0
+        tracker = ThresholdTracker(ConstantLoadThreshold(0.8), alpha=0.9)
+        series = tracker.run(rates)
+        assert isinstance(series, ThresholdSeries)
+        assert series.num_slots == 6
+        assert series.scheme == "0.8-constant-load"
+        assert np.all(series.raw > 0)
+        assert np.all(series.smoothed > 0)
+        assert series.fallback_rate == 0.0
+
+    def test_run_rejects_1d(self):
+        tracker = ThresholdTracker(ConstantLoadThreshold(0.8))
+        with pytest.raises(ClassificationError):
+            tracker.run(np.ones(5))
+
+    def test_smoothness_metric(self):
+        smooth = ThresholdSeries("s", 0.9, np.ones(10), np.ones(10), ())
+        assert smooth.smoothness() == 0.0
+        rough = ThresholdSeries(
+            "r", 0.0, np.ones(4),
+            np.array([1.0, 2.0, 1.0, 2.0]), (),
+        )
+        assert rough.smoothness() > 0.5
+
+    def test_higher_alpha_is_smoother(self, rng):
+        rates = np.abs(rng.normal(1000, 300, size=(80, 40))) + 1.0
+        runs = {}
+        for alpha in (0.0, 0.9):
+            tracker = ThresholdTracker(ConstantLoadThreshold(0.8),
+                                       alpha=alpha)
+            runs[alpha] = tracker.run(rates).smoothness()
+        assert runs[0.9] < runs[0.0]
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ClassificationError):
+            ThresholdTracker(ConstantLoadThreshold(0.8), alpha=1.0)

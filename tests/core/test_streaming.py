@@ -1,0 +1,107 @@
+"""Tests for the online (streaming) classifier.
+
+The load-bearing property: feeding a matrix column-by-column through
+the streaming interface yields exactly the masks the batch classifiers
+produce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClassificationError
+from repro.core.latent_heat import LatentHeatClassifier
+from repro.core.single_feature import SingleFeatureClassifier
+from repro.core.streaming import OnlineClassifier
+from repro.core.thresholds import ConstantLoadThreshold
+
+
+class TestValidation:
+    def test_bad_population(self):
+        with pytest.raises(ClassificationError):
+            OnlineClassifier(ConstantLoadThreshold(0.8), num_flows=0)
+
+    def test_bad_window(self):
+        with pytest.raises(ClassificationError):
+            OnlineClassifier(ConstantLoadThreshold(0.8), num_flows=5,
+                             window=0)
+
+    def test_wrong_shape_rejected(self):
+        classifier = OnlineClassifier(ConstantLoadThreshold(0.8),
+                                      num_flows=5)
+        with pytest.raises(ClassificationError):
+            classifier.observe_slot(np.ones(4))
+
+    def test_run_shape_checked(self):
+        classifier = OnlineClassifier(ConstantLoadThreshold(0.8),
+                                      num_flows=5)
+        with pytest.raises(ClassificationError):
+            classifier.run(np.ones((4, 3)))
+
+
+class TestBatchEquivalence:
+    def test_latent_heat_matches_batch(self, small_matrix):
+        detector = ConstantLoadThreshold(0.8)
+        batch = LatentHeatClassifier(detector, window=12).classify(
+            small_matrix)
+        online = OnlineClassifier(ConstantLoadThreshold(0.8),
+                                  num_flows=small_matrix.num_flows,
+                                  window=12, use_latent_heat=True)
+        verdicts = online.run(small_matrix.rates)
+        streamed = np.column_stack([v.elephant_mask for v in verdicts])
+        assert np.array_equal(streamed, batch.elephant_mask)
+
+    def test_single_feature_matches_batch(self, small_matrix):
+        detector = ConstantLoadThreshold(0.8)
+        batch = SingleFeatureClassifier(detector).classify(small_matrix)
+        online = OnlineClassifier(ConstantLoadThreshold(0.8),
+                                  num_flows=small_matrix.num_flows,
+                                  use_latent_heat=False)
+        verdicts = online.run(small_matrix.rates)
+        streamed = np.column_stack([v.elephant_mask for v in verdicts])
+        assert np.array_equal(streamed, batch.elephant_mask)
+
+    def test_thresholds_match_batch(self, small_matrix):
+        batch = LatentHeatClassifier(
+            ConstantLoadThreshold(0.8)).classify(small_matrix)
+        online = OnlineClassifier(ConstantLoadThreshold(0.8),
+                                  num_flows=small_matrix.num_flows)
+        verdicts = online.run(small_matrix.rates)
+        streamed_smoothed = np.array([v.thresholds.smoothed
+                                      for v in verdicts])
+        assert np.allclose(streamed_smoothed, batch.thresholds.smoothed)
+
+
+class TestVerdict:
+    def test_verdict_contents(self, small_matrix):
+        online = OnlineClassifier(ConstantLoadThreshold(0.8),
+                                  num_flows=small_matrix.num_flows)
+        verdict = online.observe_slot(small_matrix.slot_rates(0))
+        assert verdict.slot == 0
+        assert verdict.num_elephants == len(verdict.elephants())
+        assert verdict.latent_heat is not None
+        assert online.slots_observed == 1
+
+    def test_single_feature_has_no_heat(self, small_matrix):
+        online = OnlineClassifier(ConstantLoadThreshold(0.8),
+                                  num_flows=small_matrix.num_flows,
+                                  use_latent_heat=False)
+        verdict = online.observe_slot(small_matrix.slot_rates(0))
+        assert verdict.latent_heat is None
+
+    def test_ring_buffer_wraps_correctly(self):
+        """Heat over a window of 3 with a deterministic threshold."""
+
+        class Fixed:
+            name = "fixed"
+
+            def detect(self, rates):
+                return 10.0
+
+        online = OnlineClassifier(Fixed(), num_flows=1, window=3)
+        rates_sequence = [20.0, 0.0, 0.0, 0.0, 30.0]
+        heats = []
+        for rate in rates_sequence:
+            verdict = online.observe_slot(np.array([rate]))
+            heats.append(float(verdict.latent_heat[0]))
+        # deviations: +10, -10, -10, -10, +20 ; window-3 sums:
+        assert heats == [10.0, 0.0, -10.0, -30.0, 0.0]

@@ -1,0 +1,64 @@
+"""Unit tests for ASCII chart rendering."""
+
+import numpy as np
+
+from repro.experiments.ascii_plot import histogram_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        chart = line_chart({
+            "one": ([0.0, 1.0, 2.0], [0.0, 1.0, 2.0]),
+            "two": ([0.0, 1.0, 2.0], [2.0, 1.0, 0.0]),
+        }, width=30, height=8, title="T")
+        assert "T" in chart
+        assert "*" in chart and "o" in chart
+        assert "*=one" in chart and "o=two" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart({}, title="empty")
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart({"flat": ([0.0, 1.0], [5.0, 5.0])})
+        assert "flat" in chart
+
+    def test_labels_present(self):
+        chart = line_chart(
+            {"s": ([0.0, 10.0], [0.0, 100.0])},
+            y_label="count", x_label="hours",
+        )
+        assert "[y: count]" in chart
+        assert "[x: hours]" in chart
+
+    def test_dimensions_respected(self):
+        chart = line_chart({"s": ([0, 1], [0, 1])}, width=20, height=5)
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_lines) == 5
+
+
+class TestHistogramChart:
+    def test_bars_scale_with_counts(self):
+        chart = histogram_chart([1.0, 2.0, 3.0], [1, 100, 10],
+                                log_counts=False, width=40)
+        lines = [line for line in chart.splitlines() if "#" in line]
+        lengths = [line.count("#") for line in lines]
+        assert lengths[1] == max(lengths)
+
+    def test_log_scaling_label(self):
+        chart = histogram_chart([1.0], [5], title="H", log_counts=True)
+        assert "log10" in chart
+
+    def test_zero_bins_skipped(self):
+        chart = histogram_chart([1.0, 2.0, 3.0], [5, 0, 5])
+        lines = [line for line in chart.splitlines() if "#" in line]
+        assert len(lines) == 2
+
+    def test_empty_histogram(self):
+        assert "(no data)" in histogram_chart([], [], title="E")
+
+    def test_many_bins_merged(self):
+        centers = np.arange(100, dtype=float)
+        counts = np.ones(100, dtype=int)
+        chart = histogram_chart(centers, counts, max_rows=20)
+        lines = [line for line in chart.splitlines() if "#" in line]
+        assert len(lines) <= 20

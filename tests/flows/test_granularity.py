@@ -1,0 +1,104 @@
+"""Unit tests for granularity rollups."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClassificationError
+from repro.flows.granularity import (
+    aggregate_fixed_length,
+    aggregate_origin_as,
+    granularity_sweep,
+)
+from repro.flows.matrix import RateMatrix
+from repro.flows.records import TimeAxis
+from repro.net.prefix import Prefix
+from repro.routing.aspath import AsPath, AsTier, AutonomousSystem
+from repro.routing.rib import Route, RoutingTable
+
+
+def matrix_of(prefix_rate_pairs, num_slots=3):
+    prefixes = [Prefix.parse(text) for text, _ in prefix_rate_pairs]
+    rates = np.array([
+        [rate * (slot + 1) for slot in range(num_slots)]
+        for _, rate in prefix_rate_pairs
+    ], dtype=float)
+    return RateMatrix(prefixes, TimeAxis(0.0, 300.0, num_slots), rates)
+
+
+class TestFixedLength:
+    def test_merges_within_slash8(self):
+        matrix = matrix_of([
+            ("10.1.0.0/16", 100.0),
+            ("10.2.0.0/16", 50.0),
+            ("11.0.0.0/16", 7.0),
+        ])
+        rolled = aggregate_fixed_length(matrix, 8)
+        assert [str(p) for p in rolled.prefixes] == \
+            ["10.0.0.0/8", "11.0.0.0/8"]
+        assert rolled.rates[0, 0] == pytest.approx(150.0)
+        assert rolled.rates[1, 0] == pytest.approx(7.0)
+
+    def test_total_traffic_conserved(self, small_matrix):
+        for length in (8, 16, 24):
+            rolled = aggregate_fixed_length(small_matrix, length)
+            assert np.allclose(rolled.total_per_slot(),
+                               small_matrix.total_per_slot())
+
+    def test_shorter_prefixes_kept_as_is(self):
+        matrix = matrix_of([
+            ("10.0.0.0/8", 5.0),
+            ("10.1.0.0/16", 1.0),
+        ])
+        rolled = aggregate_fixed_length(matrix, 16)
+        keys = {str(p) for p in rolled.prefixes}
+        assert keys == {"10.0.0.0/8", "10.1.0.0/16"}
+
+    def test_monotone_coarsening(self, small_matrix):
+        """Coarser granularity means fewer or equal flow keys."""
+        sizes = [
+            aggregate_fixed_length(small_matrix, length).num_flows
+            for length in (24, 16, 8)
+        ]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_bad_length_rejected(self, small_matrix):
+        with pytest.raises(ClassificationError):
+            aggregate_fixed_length(small_matrix, 40)
+
+    def test_sweep_labels(self, small_matrix):
+        sweep = granularity_sweep(small_matrix)
+        assert set(sweep) == {"bgp-prefix", "/8", "/16", "/24"}
+        assert sweep["bgp-prefix"] is small_matrix
+
+
+class TestOriginAs:
+    def test_rollup_by_origin(self):
+        asn_a = AutonomousSystem(65001, AsTier.STUB)
+        asn_b = AutonomousSystem(65002, AsTier.TIER2)
+        table = RoutingTable([
+            Route(Prefix.parse("10.1.0.0/16"), AsPath((65001,)), asn_a),
+            Route(Prefix.parse("10.2.0.0/16"), AsPath((65001,)), asn_a),
+            Route(Prefix.parse("11.0.0.0/16"), AsPath((65002,)), asn_b),
+        ])
+        matrix = matrix_of([
+            ("10.1.0.0/16", 100.0),
+            ("10.2.0.0/16", 50.0),
+            ("11.0.0.0/16", 7.0),
+        ])
+        rolled = aggregate_origin_as(matrix, table)
+        assert rolled.as_numbers == [65001, 65002]
+        assert rolled.matrix.rates[0, 0] == pytest.approx(150.0)
+        assert rolled.matrix.rates[1, 0] == pytest.approx(7.0)
+
+    def test_unrouted_prefix_rejected(self):
+        table = RoutingTable()
+        matrix = matrix_of([("10.0.0.0/16", 1.0)])
+        with pytest.raises(ClassificationError):
+            aggregate_origin_as(matrix, table)
+
+    def test_simulated_link_rollup(self, small_link):
+        rolled = aggregate_origin_as(small_link.matrix, small_link.table)
+        assert rolled.matrix.num_flows == len(set(rolled.as_numbers))
+        assert rolled.matrix.num_flows < small_link.matrix.num_flows
+        assert np.allclose(rolled.matrix.total_per_slot(),
+                           small_link.matrix.total_per_slot())

@@ -1,0 +1,72 @@
+"""Unit tests for MAC address helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.net import mac
+
+
+class TestParseFormat:
+    def test_parse_colon_separated(self):
+        assert mac.parse_mac("aa:bb:cc:dd:ee:ff") == \
+            bytes.fromhex("aabbccddeeff")
+
+    def test_parse_dash_separated(self):
+        assert mac.parse_mac("aa-bb-cc-dd-ee-ff") == \
+            bytes.fromhex("aabbccddeeff")
+
+    def test_parse_uppercase(self):
+        assert mac.parse_mac("AA:BB:CC:DD:EE:FF") == \
+            bytes.fromhex("aabbccddeeff")
+
+    def test_parse_single_digit_octets(self):
+        assert mac.parse_mac("0:1:2:3:4:5") == bytes([0, 1, 2, 3, 4, 5])
+
+    @pytest.mark.parametrize("bad", [
+        "aa:bb:cc:dd:ee", "aa:bb:cc:dd:ee:ff:00", "gg:bb:cc:dd:ee:ff",
+        "", "aabbccddeeff", "aaa:bb:cc:dd:ee:ff",
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            mac.parse_mac(bad)
+
+    def test_format(self):
+        assert mac.format_mac(bytes.fromhex("aabbccddeeff")) == \
+            "aa:bb:cc:dd:ee:ff"
+
+    def test_format_rejects_wrong_length(self):
+        with pytest.raises(AddressError):
+            mac.format_mac(b"\x00" * 5)
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_roundtrip(self, raw):
+        assert mac.parse_mac(mac.format_mac(raw)) == raw
+
+
+class TestIntConversion:
+    def test_to_int(self):
+        assert mac.mac_to_int(b"\x00\x00\x00\x00\x00\x01") == 1
+
+    def test_from_int(self):
+        assert mac.mac_from_int(1) == b"\x00\x00\x00\x00\x00\x01"
+
+    def test_from_int_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            mac.mac_from_int(1 << 48)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_roundtrip(self, value):
+        assert mac.mac_to_int(mac.mac_from_int(value)) == value
+
+
+class TestMulticast:
+    def test_broadcast_is_multicast(self):
+        assert mac.is_multicast(mac.BROADCAST)
+
+    def test_unicast(self):
+        assert not mac.is_multicast(bytes.fromhex("02aabbccddee"))
+
+    def test_group_bit(self):
+        assert mac.is_multicast(bytes.fromhex("01005e000001"))

@@ -1,0 +1,136 @@
+"""Unit tests for the Prefix flow-key type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.net import ipv4
+from repro.net.prefix import DEFAULT_ROUTE, Prefix
+
+
+def prefixes(max_length: int = 32):
+    """Hypothesis strategy for valid prefixes."""
+    return st.builds(
+        lambda addr, length: Prefix.from_host(addr, length),
+        st.integers(min_value=0, max_value=ipv4.MAX_ADDRESS),
+        st.integers(min_value=0, max_value=max_length),
+    )
+
+
+class TestConstruction:
+    def test_parse_with_length(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.network == ipv4.parse_ipv4("192.0.2.0")
+        assert prefix.length == 24
+
+    def test_parse_bare_address_is_host_route(self):
+        assert Prefix.parse("10.0.0.1").length == 32
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("192.0.2.1/24")
+
+    def test_parse_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("192.0.2.0/33")
+        with pytest.raises(AddressError):
+            Prefix.parse("192.0.2.0/abc")
+
+    def test_constructor_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix(ipv4.parse_ipv4("10.0.0.1"), 24)
+
+    def test_from_host_zeroes_host_bits(self):
+        prefix = Prefix.from_host(ipv4.parse_ipv4("10.1.2.3"), 16)
+        assert str(prefix) == "10.1.0.0/16"
+
+    def test_str_roundtrip(self):
+        text = "172.16.0.0/12"
+        assert str(Prefix.parse(text)) == text
+
+    @given(prefixes())
+    def test_parse_str_roundtrip(self, prefix):
+        assert Prefix.parse(str(prefix)) == prefix
+
+
+class TestOrderingHashing:
+    def test_equal_prefixes_hash_equal(self):
+        assert hash(Prefix.parse("10.0.0.0/8")) == \
+            hash(Prefix.from_host(ipv4.parse_ipv4("10.1.2.3"), 8))
+
+    def test_sort_by_network_then_length(self):
+        items = [
+            Prefix.parse("10.0.0.0/16"),
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("9.0.0.0/8"),
+        ]
+        ordered = sorted(items)
+        assert [str(p) for p in ordered] == [
+            "9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16",
+        ]
+
+
+class TestContainment:
+    def test_contains_address(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.contains_address(ipv4.parse_ipv4("192.0.2.200"))
+        assert not prefix.contains_address(ipv4.parse_ipv4("192.0.3.0"))
+
+    def test_contains_prefix(self):
+        big = Prefix.parse("10.0.0.0/8")
+        small = Prefix.parse("10.20.0.0/16")
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_contains_self(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.contains(prefix)
+
+    def test_default_route_contains_everything(self):
+        assert DEFAULT_ROUTE.contains(Prefix.parse("203.0.113.0/24"))
+        assert DEFAULT_ROUTE.contains_address(0)
+
+    def test_overlaps_is_symmetric(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.1.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+    @given(prefixes(max_length=31))
+    def test_subnets_partition_parent(self, prefix):
+        left, right = prefix.subnets()
+        assert prefix.contains(left) and prefix.contains(right)
+        assert not left.overlaps(right)
+        assert left.num_addresses + right.num_addresses == \
+            prefix.num_addresses
+
+
+class TestDerivedProperties:
+    def test_num_addresses(self):
+        assert Prefix.parse("10.0.0.0/8").num_addresses == 1 << 24
+        assert Prefix.parse("10.0.0.1/32").num_addresses == 1
+
+    def test_netmask_and_broadcast(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.netmask == 0xFFFFFF00
+        assert prefix.broadcast == ipv4.parse_ipv4("192.0.2.255")
+
+    def test_supernet_default_one_bit(self):
+        assert str(Prefix.parse("10.128.0.0/9").supernet()) == "10.0.0.0/8"
+
+    def test_supernet_to_length(self):
+        assert str(Prefix.parse("10.1.2.0/24").supernet(8)) == "10.0.0.0/8"
+
+    def test_supernet_rejects_longer(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/8").supernet(16)
+
+    def test_subnets_of_host_route_rejected(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.1/32").subnets())
+
+    def test_bit_at_delegates(self):
+        prefix = Prefix.parse("128.0.0.0/1")
+        assert prefix.bit_at(0) == 1

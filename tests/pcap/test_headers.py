@@ -1,0 +1,211 @@
+"""Unit tests for Ethernet, IPv4 and transport codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PacketDecodeError
+from repro.net import ipv4 as ip4
+from repro.net.checksum import verify_checksum
+from repro.pcap.ethernet import (
+    ETHERTYPE_IPV4,
+    HEADER_LENGTH,
+    EthernetFrame,
+    decode_ethernet,
+)
+from repro.pcap.ip import (
+    PROTO_TCP,
+    PROTO_UDP,
+    Ipv4Packet,
+    decode_ipv4,
+)
+from repro.pcap.transport import (
+    FLAG_ACK,
+    FLAG_SYN,
+    TcpSegment,
+    UdpDatagram,
+    decode_tcp,
+    decode_udp,
+    verify_tcp_checksum,
+)
+
+SRC = ip4.parse_ipv4("10.0.0.1")
+DST = ip4.parse_ipv4("192.0.2.7")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        frame = EthernetFrame(
+            destination=b"\x02" * 6, source=b"\x04" * 6,
+            ethertype=ETHERTYPE_IPV4, payload=b"payload",
+        )
+        parsed = decode_ethernet(frame.encode())
+        assert parsed == frame
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(PacketDecodeError, match="short"):
+            decode_ethernet(b"\x00" * (HEADER_LENGTH - 1))
+
+    def test_vlan_rejected(self):
+        frame = EthernetFrame(
+            destination=b"\x02" * 6, source=b"\x04" * 6,
+            ethertype=0x8100, payload=b"",
+        )
+        with pytest.raises(PacketDecodeError, match="802.1Q"):
+            decode_ethernet(frame.encode())
+
+    def test_bad_mac_length_rejected(self):
+        with pytest.raises(PacketDecodeError):
+            EthernetFrame(destination=b"\x02" * 5, source=b"\x04" * 6,
+                          ethertype=ETHERTYPE_IPV4, payload=b"")
+
+    @given(st.binary(min_size=0, max_size=64),
+           st.integers(min_value=0, max_value=0xFFFF).filter(
+               lambda t: t != 0x8100))
+    def test_roundtrip_property(self, payload, ethertype):
+        frame = EthernetFrame(b"\x01" * 6, b"\x02" * 6, ethertype, payload)
+        assert decode_ethernet(frame.encode()) == frame
+
+
+class TestIpv4:
+    def test_roundtrip(self):
+        packet = Ipv4Packet(source=SRC, destination=DST,
+                            protocol=PROTO_UDP, payload=b"data",
+                            identification=42, ttl=17)
+        parsed = decode_ipv4(packet.encode())
+        assert parsed == packet
+
+    def test_header_checksum_is_valid(self):
+        packet = Ipv4Packet(SRC, DST, PROTO_TCP, b"xyz")
+        encoded = packet.encode()
+        assert verify_checksum(encoded[:20])
+
+    def test_corrupted_checksum_rejected(self):
+        encoded = bytearray(Ipv4Packet(SRC, DST, PROTO_TCP, b"x").encode())
+        encoded[10] ^= 0xFF
+        with pytest.raises(PacketDecodeError, match="checksum"):
+            decode_ipv4(bytes(encoded))
+
+    def test_checksum_check_can_be_skipped(self):
+        encoded = bytearray(Ipv4Packet(SRC, DST, PROTO_TCP, b"x").encode())
+        encoded[10] ^= 0xFF
+        parsed = decode_ipv4(bytes(encoded), verify=False)
+        assert parsed.source == SRC
+
+    def test_trailing_padding_trimmed(self):
+        packet = Ipv4Packet(SRC, DST, PROTO_UDP, b"abc")
+        padded = packet.encode() + b"\x00" * 7  # Ethernet minimum padding
+        assert decode_ipv4(padded).payload == b"abc"
+
+    def test_options_roundtrip(self):
+        packet = Ipv4Packet(SRC, DST, PROTO_TCP, b"p",
+                            options=b"\x01\x01\x01\x01")
+        parsed = decode_ipv4(packet.encode())
+        assert parsed.options == b"\x01\x01\x01\x01"
+        assert parsed.header_length == 24
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(PacketDecodeError, match="short"):
+            decode_ipv4(b"\x45" + b"\x00" * 10)
+
+    def test_non_ipv4_version_rejected(self):
+        encoded = bytearray(Ipv4Packet(SRC, DST, PROTO_TCP, b"").encode())
+        encoded[0] = (6 << 4) | 5
+        with pytest.raises(PacketDecodeError, match="version"):
+            decode_ipv4(bytes(encoded))
+
+    def test_unpadded_options_rejected(self):
+        with pytest.raises(PacketDecodeError, match="options"):
+            Ipv4Packet(SRC, DST, PROTO_TCP, b"", options=b"\x01")
+
+    def test_fragment_fields_roundtrip(self):
+        packet = Ipv4Packet(SRC, DST, PROTO_UDP, b"frag",
+                            dont_fragment=False, more_fragments=True,
+                            fragment_offset=64)
+        parsed = decode_ipv4(packet.encode())
+        assert parsed.more_fragments and not parsed.dont_fragment
+        assert parsed.fragment_offset == 64
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        source=st.integers(min_value=0, max_value=ip4.MAX_ADDRESS),
+        destination=st.integers(min_value=0, max_value=ip4.MAX_ADDRESS),
+        payload=st.binary(min_size=0, max_size=100),
+        ttl=st.integers(min_value=0, max_value=255),
+        ident=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_roundtrip_property(self, source, destination, payload, ttl,
+                                ident):
+        packet = Ipv4Packet(source, destination, PROTO_UDP, payload,
+                            ttl=ttl, identification=ident)
+        assert decode_ipv4(packet.encode()) == packet
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        datagram = UdpDatagram(1234, 80, b"GET /")
+        parsed = decode_udp(datagram.encode(SRC, DST))
+        assert parsed == datagram
+
+    def test_length_field(self):
+        datagram = UdpDatagram(1, 2, b"12345")
+        assert datagram.length == 13
+
+    def test_bad_length_field_rejected(self):
+        encoded = bytearray(UdpDatagram(1, 2, b"abc").encode(SRC, DST))
+        encoded[4:6] = (200).to_bytes(2, "big")
+        with pytest.raises(PacketDecodeError, match="length"):
+            decode_udp(bytes(encoded))
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(PacketDecodeError):
+            decode_udp(b"\x00" * 7)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(PacketDecodeError):
+            UdpDatagram(70000, 80, b"")
+
+
+class TestTcp:
+    def test_roundtrip(self):
+        segment = TcpSegment(source_port=4000, destination_port=80,
+                             sequence=7, acknowledgment=9,
+                             flags=FLAG_SYN | FLAG_ACK, window=1024,
+                             payload=b"hello")
+        parsed = decode_tcp(segment.encode(SRC, DST))
+        assert parsed == segment
+
+    def test_checksum_verifies(self):
+        segment = TcpSegment(1, 2, 3, payload=b"abc")
+        encoded = segment.encode(SRC, DST)
+        assert verify_tcp_checksum(encoded, SRC, DST)
+
+    def test_checksum_fails_on_corruption(self):
+        encoded = bytearray(TcpSegment(1, 2, 3, payload=b"abc")
+                            .encode(SRC, DST))
+        encoded[-1] ^= 0x01
+        assert not verify_tcp_checksum(bytes(encoded), SRC, DST)
+
+    def test_checksum_fails_on_wrong_pseudo_header(self):
+        encoded = TcpSegment(1, 2, 3, payload=b"abc").encode(SRC, DST)
+        assert not verify_tcp_checksum(encoded, SRC, DST + 1)
+
+    def test_flags(self):
+        segment = TcpSegment(1, 2, 3, flags=FLAG_SYN)
+        assert segment.flag(FLAG_SYN) and not segment.flag(FLAG_ACK)
+
+    def test_options_roundtrip(self):
+        segment = TcpSegment(1, 2, 3, options=b"\x02\x04\x05\xb4")
+        parsed = decode_tcp(segment.encode(SRC, DST))
+        assert parsed.options == b"\x02\x04\x05\xb4"
+        assert parsed.header_length == 24
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(PacketDecodeError):
+            decode_tcp(b"\x00" * 19)
+
+    def test_bad_data_offset_rejected(self):
+        encoded = bytearray(TcpSegment(1, 2, 3).encode(SRC, DST))
+        encoded[12] = 2 << 4  # offset 8 bytes < minimum 20
+        with pytest.raises(PacketDecodeError, match="offset"):
+            decode_tcp(bytes(encoded))

@@ -1,0 +1,164 @@
+"""Unit and property tests for the radix (Patricia) trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.net import ipv4
+from repro.net.prefix import Prefix
+from repro.routing.radix import RadixTree, brute_force_lookup
+
+
+def make_tree(*texts):
+    tree = RadixTree()
+    for index, text in enumerate(texts):
+        tree.insert(Prefix.parse(text), index)
+    return tree
+
+
+class TestInsertLookup:
+    def test_empty_tree_finds_nothing(self):
+        assert RadixTree().lookup(ipv4.parse_ipv4("10.0.0.1")) is None
+
+    def test_single_prefix(self):
+        tree = make_tree("10.0.0.0/8")
+        match = tree.lookup(ipv4.parse_ipv4("10.1.2.3"))
+        assert match == (Prefix.parse("10.0.0.0/8"), 0)
+        assert tree.lookup(ipv4.parse_ipv4("11.0.0.1")) is None
+
+    def test_longest_match_wins(self):
+        tree = make_tree("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24")
+        prefix, value = tree.lookup(ipv4.parse_ipv4("10.1.2.3"))
+        assert str(prefix) == "10.1.2.0/24" and value == 2
+        prefix, _ = tree.lookup(ipv4.parse_ipv4("10.1.3.1"))
+        assert str(prefix) == "10.1.0.0/16"
+        prefix, _ = tree.lookup(ipv4.parse_ipv4("10.2.0.1"))
+        assert str(prefix) == "10.0.0.0/8"
+
+    def test_default_route_matches_all(self):
+        tree = make_tree("0.0.0.0/0")
+        assert tree.lookup(0)[1] == 0
+        assert tree.lookup(ipv4.MAX_ADDRESS)[1] == 0
+
+    def test_sibling_split(self):
+        tree = make_tree("10.0.0.0/16", "10.128.0.0/16")
+        assert str(tree.lookup(ipv4.parse_ipv4("10.0.0.1"))[0]) == \
+            "10.0.0.0/16"
+        assert str(tree.lookup(ipv4.parse_ipv4("10.128.0.1"))[0]) == \
+            "10.128.0.0/16"
+        assert tree.lookup(ipv4.parse_ipv4("10.64.0.1")) is None
+
+    def test_insert_shorter_after_longer(self):
+        tree = make_tree("10.1.0.0/16", "10.0.0.0/8")
+        assert str(tree.lookup(ipv4.parse_ipv4("10.2.0.1"))[0]) == \
+            "10.0.0.0/8"
+
+    def test_duplicate_insert_overwrites(self):
+        tree = RadixTree()
+        prefix = Prefix.parse("10.0.0.0/8")
+        tree.insert(prefix, "old")
+        tree.insert(prefix, "new")
+        assert len(tree) == 1
+        assert tree.get(prefix) == "new"
+
+    def test_host_route(self):
+        tree = make_tree("10.0.0.0/8", "10.0.0.1/32")
+        assert str(tree.lookup(ipv4.parse_ipv4("10.0.0.1"))[0]) == \
+            "10.0.0.1/32"
+        assert str(tree.lookup(ipv4.parse_ipv4("10.0.0.2"))[0]) == \
+            "10.0.0.0/8"
+
+    def test_len_counts_real_nodes_only(self):
+        tree = make_tree("10.0.0.0/16", "10.128.0.0/16")  # creates glue
+        assert len(tree) == 2
+
+
+class TestExactOperations:
+    def test_get_exact_only(self):
+        tree = make_tree("10.0.0.0/8")
+        assert tree.get(Prefix.parse("10.0.0.0/8")) == 0
+        assert tree.get(Prefix.parse("10.0.0.0/16")) is None
+
+    def test_contains(self):
+        tree = make_tree("10.0.0.0/8", "10.64.0.0/16", "10.128.0.0/16")
+        assert Prefix.parse("10.64.0.0/16") in tree
+        # The glue node's prefix must not appear as a real entry.
+        assert Prefix.parse("10.0.0.0/9") not in tree
+
+    def test_delete(self):
+        tree = make_tree("10.0.0.0/8", "10.1.0.0/16")
+        assert tree.delete(Prefix.parse("10.1.0.0/16")) == 1
+        assert len(tree) == 1
+        assert str(tree.lookup(ipv4.parse_ipv4("10.1.0.1"))[0]) == \
+            "10.0.0.0/8"
+
+    def test_delete_missing_raises(self):
+        tree = make_tree("10.0.0.0/8")
+        with pytest.raises(RoutingError):
+            tree.delete(Prefix.parse("11.0.0.0/8"))
+
+    def test_delete_then_reinsert(self):
+        tree = make_tree("10.0.0.0/16", "10.128.0.0/16")
+        tree.delete(Prefix.parse("10.0.0.0/16"))
+        tree.insert(Prefix.parse("10.0.0.0/16"), 99)
+        assert tree.get(Prefix.parse("10.0.0.0/16")) == 99
+        assert len(tree) == 2
+
+    def test_iteration_in_prefix_order(self):
+        tree = make_tree("10.128.0.0/16", "10.0.0.0/8", "10.0.0.0/16")
+        assert [str(p) for p in tree.prefixes()] == [
+            "10.0.0.0/8", "10.0.0.0/16", "10.128.0.0/16",
+        ]
+
+
+# ---------------------------------------------------------------------------
+# property-based: the trie agrees with brute force on random tables
+# ---------------------------------------------------------------------------
+
+prefix_strategy = st.builds(
+    lambda addr, length: Prefix.from_host(addr, length),
+    st.integers(min_value=0, max_value=ipv4.MAX_ADDRESS),
+    st.integers(min_value=1, max_value=32),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.lists(prefix_strategy, min_size=1, max_size=60),
+    probes=st.lists(
+        st.integers(min_value=0, max_value=ipv4.MAX_ADDRESS),
+        min_size=1, max_size=30,
+    ),
+)
+def test_trie_matches_brute_force(entries, probes):
+    tree = RadixTree()
+    table = {}
+    for index, prefix in enumerate(entries):
+        tree.insert(prefix, index)
+        table[prefix] = index  # duplicates overwrite, as in the trie
+    reference = list(table.items())
+    assert len(tree) == len(table)
+    for address in probes:
+        expected = brute_force_lookup(reference, address)
+        actual = tree.lookup(address)
+        assert actual == expected
+    # Probing network addresses exercises exact boundaries too.
+    for prefix, index in reference:
+        assert tree.lookup(prefix.network) is not None
+
+
+@settings(max_examples=30, deadline=None)
+@given(entries=st.lists(prefix_strategy, min_size=2, max_size=40, unique=True))
+def test_delete_restores_previous_answers(entries):
+    """Deleting the last-inserted prefix restores the prior table."""
+    tree = RadixTree()
+    for index, prefix in enumerate(entries[:-1]):
+        tree.insert(prefix, index)
+    before = {p: tree.lookup(p.network) for p in entries[:-1]}
+    victim = entries[-1]
+    tree.insert(victim, 999)
+    tree.delete(victim)
+    assert len(tree) == len(set(entries[:-1]))
+    for prefix in entries[:-1]:
+        assert tree.lookup(prefix.network) == before[prefix]

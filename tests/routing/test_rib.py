@@ -1,0 +1,93 @@
+"""Unit tests for the BGP routing table."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.net import ipv4
+from repro.net.prefix import Prefix
+from repro.routing.aspath import AsPath, AsTier, AutonomousSystem
+from repro.routing.rib import Route, RoutingTable
+
+
+def route(text: str, origin: int = 65001,
+          tier: AsTier = AsTier.STUB) -> Route:
+    return Route(
+        prefix=Prefix.parse(text),
+        as_path=AsPath((1239, origin)) if origin != 1239 else AsPath((1239,)),
+        origin_as=AutonomousSystem(origin, tier),
+    )
+
+
+class TestRoute:
+    def test_origin_consistency_enforced(self):
+        with pytest.raises(RoutingError):
+            Route(
+                prefix=Prefix.parse("10.0.0.0/8"),
+                as_path=AsPath((1239, 65001)),
+                origin_as=AutonomousSystem(65002, AsTier.STUB),
+            )
+
+    def test_properties(self):
+        entry = route("10.0.0.0/8", tier=AsTier.TIER1)
+        assert entry.prefix_length == 8
+        assert entry.origin_tier is AsTier.TIER1
+
+
+class TestRoutingTable:
+    def test_resolve_longest_match(self):
+        table = RoutingTable([
+            route("10.0.0.0/8", 65001),
+            route("10.1.0.0/16", 65002),
+        ])
+        resolved = table.resolve(ipv4.parse_ipv4("10.1.2.3"))
+        assert resolved.origin_as.number == 65002
+        resolved = table.resolve(ipv4.parse_ipv4("10.2.0.1"))
+        assert resolved.origin_as.number == 65001
+        assert table.resolve(ipv4.parse_ipv4("11.0.0.1")) is None
+
+    def test_resolve_prefix(self):
+        table = RoutingTable([route("10.0.0.0/8")])
+        assert str(table.resolve_prefix(ipv4.parse_ipv4("10.9.9.9"))) == \
+            "10.0.0.0/8"
+
+    def test_replacement_on_reannounce(self):
+        table = RoutingTable([route("10.0.0.0/8", 65001)])
+        table.add(route("10.0.0.0/8", 65002))
+        assert len(table) == 1
+        assert table.route_for(Prefix.parse("10.0.0.0/8")).origin_as.number \
+            == 65002
+
+    def test_withdraw(self):
+        table = RoutingTable([route("10.0.0.0/8"), route("11.0.0.0/8")])
+        table.withdraw(Prefix.parse("10.0.0.0/8"))
+        assert len(table) == 1
+        assert table.resolve(ipv4.parse_ipv4("10.0.0.1")) is None
+
+    def test_withdraw_missing_raises(self):
+        with pytest.raises(RoutingError):
+            RoutingTable().withdraw(Prefix.parse("10.0.0.0/8"))
+
+    def test_contains_and_iteration(self):
+        entries = [route("10.0.0.0/8"), route("192.168.0.0/16")]
+        table = RoutingTable(entries)
+        assert Prefix.parse("10.0.0.0/8") in table
+        assert sorted(str(r.prefix) for r in table) == [
+            "10.0.0.0/8", "192.168.0.0/16",
+        ]
+
+    def test_prefix_length_histogram(self):
+        table = RoutingTable([
+            route("10.0.0.0/8"), route("11.0.0.0/8"),
+            route("192.168.0.0/16"),
+        ])
+        assert table.prefix_length_histogram() == {8: 2, 16: 1}
+
+    def test_routes_by_tier(self):
+        table = RoutingTable([
+            route("10.0.0.0/8", 65001, AsTier.STUB),
+            route("11.0.0.0/8", 7018, AsTier.TIER2),
+        ])
+        groups = table.routes_by_tier()
+        assert len(groups[AsTier.STUB]) == 1
+        assert len(groups[AsTier.TIER2]) == 1
+        assert len(groups[AsTier.TIER1]) == 0

@@ -1,0 +1,81 @@
+"""Unit tests for the synthetic RIB generator."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.aspath import AsTier
+from repro.routing.ribgen import (
+    DEFAULT_LENGTH_WEIGHTS,
+    RibGeneratorConfig,
+    generate_rib,
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_routes": 0},
+        {"num_slash8": -1},
+        {"num_slash8": 300},  # > 256
+        {"num_routes": 10, "num_slash8": 20},
+        {"length_weights": {}},
+        {"length_weights": {40: 1.0}},
+        {"length_weights": {24: -1.0}},
+        {"tier_shares": {AsTier.TIER1: 0.0, AsTier.TIER2: 0.0,
+                         AsTier.STUB: 0.0}},
+        {"max_path_length": 0},
+    ])
+    def test_rejects_bad_config(self, kwargs):
+        config = RibGeneratorConfig(**kwargs)
+        with pytest.raises(RoutingError):
+            config.validate()
+
+
+class TestGeneratedTable:
+    def test_size_and_uniqueness(self, small_rib):
+        assert len(small_rib) == 300
+        prefixes = small_rib.prefixes()
+        assert len(set(prefixes)) == len(prefixes)
+
+    def test_forced_slash8_population(self, small_rib):
+        histogram = small_rib.prefix_length_histogram()
+        assert histogram[8] == 20
+
+    def test_lengths_within_configured_range(self, small_rib):
+        histogram = small_rib.prefix_length_histogram()
+        for length in histogram:
+            assert length in DEFAULT_LENGTH_WEIGHTS
+
+    def test_slash24_dominates(self):
+        table = generate_rib(RibGeneratorConfig(num_routes=2000,
+                                                num_slash8=50, seed=3))
+        histogram = table.prefix_length_histogram()
+        assert histogram[24] == max(
+            count for length, count in histogram.items() if length != 8
+        )
+        # Roughly half the table, as in real RIBs of the era.
+        assert 0.35 <= histogram[24] / len(table) <= 0.65
+
+    def test_deterministic_given_seed(self):
+        config = RibGeneratorConfig(num_routes=200, num_slash8=10, seed=99)
+        first = generate_rib(config).prefixes()
+        second = generate_rib(config).prefixes()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        base = RibGeneratorConfig(num_routes=200, num_slash8=10, seed=1)
+        other = RibGeneratorConfig(num_routes=200, num_slash8=10, seed=2)
+        assert generate_rib(base).prefixes() != generate_rib(other).prefixes()
+
+    def test_all_tiers_present(self, small_rib):
+        groups = small_rib.routes_by_tier()
+        for tier in AsTier:
+            assert groups[tier], f"no routes originated by {tier}"
+
+    def test_paths_end_at_origin(self, small_rib):
+        for route in small_rib:
+            assert route.as_path.origin == route.origin_as.number
+
+    def test_unicast_space_only(self, small_rib):
+        for route in small_rib:
+            first_octet = route.prefix.network >> 24
+            assert 1 <= first_octet <= 223

@@ -1,0 +1,80 @@
+"""Unit and property tests for Space-Saving."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClassificationError
+from repro.sketches.space_saving import SpaceSaving
+
+
+class TestBasics:
+    def test_exact_below_capacity(self):
+        sketch = SpaceSaving(4)
+        sketch.update("a", 10.0)
+        sketch.update("b", 5.0)
+        sketch.update("a", 1.0)
+        assert sketch.estimate("a") == 11.0
+        assert sketch.guaranteed("a") == 11.0
+        assert sketch.top_k(1) == [("a", 11.0)]
+
+    def test_eviction_inherits_count(self):
+        sketch = SpaceSaving(2)
+        sketch.update("a", 10.0)
+        sketch.update("b", 5.0)
+        sketch.update("c", 1.0)  # evicts b (min), inherits 5.0
+        assert len(sketch) == 2
+        assert sketch.estimate("c") == 6.0
+        assert sketch.guaranteed("c") == 1.0
+        assert sketch.estimate("b") == 0.0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ClassificationError):
+            SpaceSaving(0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ClassificationError):
+            SpaceSaving(2).update("a", -1.0)
+
+    def test_top_k_bounds(self):
+        sketch = SpaceSaving(4)
+        sketch.update("a", 1.0)
+        assert sketch.top_k(10) == [("a", 1.0)]
+        assert sketch.top_k(0) == []
+        with pytest.raises(ClassificationError):
+            sketch.top_k(-1)
+
+
+class TestGuarantees:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=30),
+                      st.floats(min_value=0.1, max_value=100.0)),
+            min_size=1, max_size=300,
+        ),
+        st.integers(min_value=2, max_value=16),
+    )
+    def test_overestimate_bounded(self, stream, capacity):
+        """Space-Saving guarantee: true <= estimate <= true + min_count."""
+        sketch = SpaceSaving(capacity)
+        truth: dict[int, float] = {}
+        for key, weight in stream:
+            sketch.update(key, weight)
+            truth[key] = truth.get(key, 0.0) + weight
+        monitored = dict(sketch.top_k(capacity))
+        min_count = min(monitored.values()) if monitored else 0.0
+        for key, estimate in monitored.items():
+            true_weight = truth.get(key, 0.0)
+            assert estimate >= true_weight - 1e-9
+            assert estimate <= true_weight + min_count + 1e-9
+
+    def test_heavy_keys_always_monitored(self, rng):
+        """A key above total/capacity cannot be evicted."""
+        sketch = SpaceSaving(10)
+        items = [("big", 50.0)] * 20 + [(f"m{i}", 1.0) for i in range(300)]
+        rng.shuffle(items)
+        for key, weight in items:
+            sketch.update(key, weight)
+        assert sketch.estimate("big") >= 1000.0
+        assert "big" in dict(sketch.top_k(3))

@@ -1,0 +1,81 @@
+"""Unit and property tests for the EWMA smoother."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ClassificationError
+from repro.stats.ewma import Ewma, smooth_series
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=50,
+)
+
+
+class TestEwma:
+    def test_first_update_initialises(self):
+        smoother = Ewma(0.9)
+        assert not smoother.initialized
+        assert smoother.update(10.0) == 10.0
+        assert smoother.initialized
+
+    def test_paper_recurrence(self):
+        smoother = Ewma(0.9)
+        smoother.update(100.0)
+        assert smoother.update(0.0) == pytest.approx(90.0)
+        assert smoother.update(0.0) == pytest.approx(81.0)
+
+    def test_alpha_zero_tracks_input(self):
+        smoother = Ewma(0.0)
+        smoother.update(5.0)
+        assert smoother.update(7.0) == 7.0
+
+    def test_read_before_update_raises(self):
+        with pytest.raises(ClassificationError):
+            Ewma(0.5).value
+
+    def test_reset(self):
+        smoother = Ewma(0.5)
+        smoother.update(1.0)
+        smoother.reset()
+        assert not smoother.initialized
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_bad_alpha_rejected(self, bad):
+        with pytest.raises(ClassificationError):
+            Ewma(bad)
+
+    def test_non_finite_rejected(self):
+        smoother = Ewma(0.5)
+        with pytest.raises(ClassificationError):
+            smoother.update(float("nan"))
+
+    @given(values, st.floats(min_value=0.0, max_value=0.99))
+    def test_bounded_by_input_range(self, series, alpha):
+        smoother = Ewma(alpha)
+        for value in series:
+            smoothed = smoother.update(value)
+            assert min(series) - 1e-9 <= smoothed <= max(series) + 1e-9
+
+
+class TestSmoothSeries:
+    def test_matches_stateful(self):
+        series = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        smoother = Ewma(0.7)
+        expected = [smoother.update(v) for v in series]
+        assert np.allclose(smooth_series(series, 0.7), expected)
+
+    def test_empty_series(self):
+        assert smooth_series(np.array([]), 0.5).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ClassificationError):
+            smooth_series(np.zeros((2, 2)), 0.5)
+
+    @given(values)
+    def test_constant_series_is_fixed_point(self, series):
+        constant = np.full(len(series), 42.0)
+        assert np.allclose(smooth_series(constant, 0.9), 42.0)

@@ -1,0 +1,91 @@
+"""Unit tests for Hill estimation and tail-mass diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.stats.tail import (
+    hill_estimator,
+    hill_plot,
+    mass_share_of_top,
+    top_fraction_for_share,
+)
+
+
+class TestHillEstimator:
+    @pytest.mark.parametrize("alpha", [0.8, 1.2, 1.8])
+    def test_recovers_pareto_index(self, rng, alpha):
+        samples = rng.pareto(alpha, 30_000) + 1.0
+        estimate = hill_estimator(samples, k=1500)
+        assert estimate == pytest.approx(alpha, rel=0.15)
+
+    def test_k_bounds_checked(self):
+        samples = np.arange(1.0, 11.0)
+        with pytest.raises(ValueError):
+            hill_estimator(samples, k=0)
+        with pytest.raises(ValueError):
+            hill_estimator(samples, k=10)
+
+    def test_tiny_sample_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            hill_estimator(np.array([1.0]), k=1)
+
+    def test_non_positive_pivot_rejected(self):
+        samples = np.array([-1.0, 0.0, 1.0, 2.0])
+        with pytest.raises(InsufficientDataError):
+            hill_estimator(samples, k=3)
+
+    def test_degenerate_equal_samples_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            hill_estimator(np.full(100, 7.0), k=10)
+
+
+class TestHillPlot:
+    def test_plateau_on_pareto(self, rng):
+        samples = rng.pareto(1.5, 20_000) + 1.0
+        ks, estimates = hill_plot(samples)
+        assert ks.size == estimates.size
+        middle = estimates[(ks > 500) & (ks < 5000)]
+        assert np.median(middle) == pytest.approx(1.5, rel=0.2)
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(InsufficientDataError):
+            hill_plot(np.arange(1.0, 6.0))
+
+
+class TestMassShare:
+    def test_uniform_mass(self):
+        samples = np.ones(100)
+        assert mass_share_of_top(samples, 0.10) == pytest.approx(0.10)
+
+    def test_concentrated_mass(self):
+        samples = np.array([97.0] + [1.0] * 3)
+        assert mass_share_of_top(samples, 0.25) == pytest.approx(0.97)
+
+    def test_elephants_and_mice_on_pareto(self, rng):
+        # The motivating fact: few flows carry most of the bytes.
+        samples = rng.pareto(1.1, 10_000) + 1.0
+        assert mass_share_of_top(samples, 0.10) > 0.5
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            mass_share_of_top(np.ones(5), 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            mass_share_of_top(np.array([]), 0.5)
+
+
+class TestTopFraction:
+    def test_inverse_of_mass_share(self, rng):
+        samples = rng.pareto(1.2, 5000) + 1.0
+        fraction = top_fraction_for_share(samples, 0.8)
+        achieved = mass_share_of_top(samples, fraction)
+        assert achieved >= 0.8
+
+    def test_uniform(self):
+        assert top_fraction_for_share(np.ones(10), 0.5) == pytest.approx(0.5)
+
+    def test_bad_share_rejected(self):
+        with pytest.raises(ValueError):
+            top_fraction_for_share(np.ones(5), 1.5)

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.flows.matrix import RateMatrix
+
+
+@pytest.fixture(scope="module")
+def matrix_file(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "west.npz")
+    code = main(["simulate", path, "--link", "west", "--scale", "0.05",
+                 "--seed", "5"])
+    assert code == 0
+    return path
+
+
+class TestSimulate:
+    def test_writes_loadable_matrix(self, matrix_file):
+        matrix = RateMatrix.load_npz(matrix_file)
+        assert matrix.num_flows >= 400
+        assert matrix.num_slots >= 144
+
+    def test_east_link(self, tmp_path, capsys):
+        path = str(tmp_path / "east.npz")
+        assert main(["simulate", path, "--link", "east",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "utilisation" in out
+
+    def test_seed_changes_output(self, tmp_path):
+        first = str(tmp_path / "a.npz")
+        second = str(tmp_path / "b.npz")
+        main(["simulate", first, "--scale", "0.05", "--seed", "1"])
+        main(["simulate", second, "--scale", "0.05", "--seed", "2"])
+        a = RateMatrix.load_npz(first)
+        b = RateMatrix.load_npz(second)
+        assert not np.array_equal(a.rates, b.rates)
+
+
+class TestClassify:
+    def test_summary_table(self, matrix_file, capsys):
+        assert main(["classify", matrix_file]) == 0
+        out = capsys.readouterr().out
+        assert "classification summary" in out
+        assert "latent-heat" in out
+        assert "mean elephants/slot" in out
+
+    def test_single_feature_and_parameters(self, matrix_file, capsys):
+        assert main(["classify", matrix_file, "--feature", "single",
+                     "--scheme", "constant-load", "--beta", "0.7",
+                     "--alpha", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "0.7-constant-load single-feature" in out
+
+    def test_aest_scheme(self, matrix_file, capsys):
+        assert main(["classify", matrix_file, "--scheme", "aest",
+                     "--window", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "aest latent-heat" in out
+
+
+class TestFigures:
+    def test_renders_all_three_panels(self, capsys):
+        assert main(["figures", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1(a)" in out
+        assert "Fig 1(b)" in out
+        assert "Fig 1(c)" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.AddressError,
+    errors.RoutingError,
+    errors.PcapError,
+    errors.PcapFormatError,
+    errors.PacketDecodeError,
+    errors.EstimatorError,
+    errors.InsufficientDataError,
+    errors.TailNotFoundError,
+    errors.ClassificationError,
+    errors.WorkloadError,
+    errors.ExperimentError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_everything_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_address_error_is_value_error():
+    """Callers using stdlib idioms (except ValueError) still catch it."""
+    assert issubclass(errors.AddressError, ValueError)
+
+
+def test_specific_pcap_errors_are_pcap_errors():
+    assert issubclass(errors.PcapFormatError, errors.PcapError)
+    assert issubclass(errors.PacketDecodeError, errors.PcapError)
+
+
+def test_estimator_specialisations():
+    assert issubclass(errors.InsufficientDataError, errors.EstimatorError)
+    assert issubclass(errors.TailNotFoundError, errors.EstimatorError)

@@ -1,0 +1,80 @@
+"""Unit tests for rate-to-packet conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.flows.matrix import RateMatrix
+from repro.flows.records import TimeAxis
+from repro.net.prefix import Prefix
+from repro.pcap.pcapfile import PcapReader
+from repro.pcap.packet import summarize_record
+from repro.traffic.packetize import (
+    PacketizerConfig,
+    packetize_matrix,
+    write_pcap,
+)
+
+
+def tiny_matrix(rates, slot_seconds=10.0):
+    rates = np.asarray(rates, dtype=float)
+    prefixes = [Prefix.parse(f"10.{i}.0.0/16") for i in range(rates.shape[0])]
+    return RateMatrix(prefixes, TimeAxis(1000.0, slot_seconds,
+                                         rates.shape[1]), rates)
+
+
+class TestPacketize:
+    def test_packets_ordered_in_time(self):
+        matrix = tiny_matrix([[50_000.0, 20_000.0], [30_000.0, 0.0]])
+        timestamps = [r.timestamp for r in packetize_matrix(matrix)]
+        assert timestamps == sorted(timestamps)
+
+    def test_timestamps_inside_axis(self):
+        matrix = tiny_matrix([[80_000.0]])
+        for record in packetize_matrix(matrix):
+            assert 1000.0 <= record.timestamp < 1010.0
+
+    def test_destinations_inside_prefix(self):
+        matrix = tiny_matrix([[80_000.0]])
+        prefix = matrix.prefixes[0]
+        for record in packetize_matrix(matrix):
+            summary = summarize_record(record)
+            assert prefix.contains_address(summary.destination)
+
+    def test_byte_budget_respected(self):
+        rate = 160_000.0  # 200 kB over a 10 s slot
+        matrix = tiny_matrix([[rate]])
+        total = sum(r.wire_length for r in packetize_matrix(matrix))
+        budget = rate * 10.0 / 8.0
+        assert total <= budget
+        assert total >= budget - 1500  # within one max-size packet
+
+    def test_zero_rate_produces_no_packets(self):
+        matrix = tiny_matrix([[0.0, 0.0]])
+        assert list(packetize_matrix(matrix)) == []
+
+    def test_deterministic_given_seed(self):
+        matrix = tiny_matrix([[100_000.0]])
+        config = PacketizerConfig(seed=5)
+        first = [(r.timestamp, r.data) for r in
+                 packetize_matrix(matrix, config)]
+        second = [(r.timestamp, r.data) for r in
+                  packetize_matrix(matrix, config)]
+        assert first == second
+
+
+class TestWritePcap:
+    def test_roundtrip_through_file(self, tmp_path):
+        matrix = tiny_matrix([[100_000.0], [50_000.0]])
+        path = str(tmp_path / "flows.pcap")
+        count = write_pcap(matrix, path)
+        with PcapReader.open(path) as reader:
+            records = list(reader)
+        assert len(records) == count
+        assert count > 0
+
+    def test_refuses_oversized_realisation(self):
+        # 622 Mbit/s for an hour is far beyond the packetiser's remit.
+        matrix = tiny_matrix([[6.0e8]], slot_seconds=3600.0)
+        with pytest.raises(WorkloadError, match="packets"):
+            write_pcap(matrix, "/dev/null")
