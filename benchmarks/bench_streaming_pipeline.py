@@ -1,0 +1,120 @@
+"""Streaming-pipeline throughput: ingestion and classification rates.
+
+Two hot paths get a trajectory here:
+
+- **Ingestion**: the vectorized pcap scan + batch LPM + ``np.add.at``
+  binning against the seed's per-packet decode/resolve/accumulate loop,
+  on a >= 50k-packet synthetic capture. The acceptance bar for the
+  pipeline refactor is a >= 5x speedup.
+- **Streaming classification**: slots/second through
+  :class:`~repro.pipeline.engine.StreamingPipeline` on a replayed
+  matrix — the figure a deployment planner needs (how many monitored
+  links fit on one core).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.engine import Feature, Scheme
+from repro.flows.aggregate import aggregate_pcap
+from repro.flows.matrix import RateMatrix
+from repro.flows.records import TimeAxis
+from repro.net.prefix import Prefix
+from repro.pipeline import MatrixSlotSource, StreamingPipeline
+from repro.routing.aspath import AsPath, AsTier, AutonomousSystem
+from repro.routing.rib import Route, RoutingTable
+from repro.traffic.packetize import PacketizerConfig, write_pcap
+
+#: The acceptance bar: vectorized ingestion vs the per-packet loop.
+MIN_SPEEDUP = 5.0
+#: Capture size floor for a meaningful throughput number.
+MIN_PACKETS = 50_000
+
+
+@pytest.fixture(scope="module")
+def capture(tmp_path_factory):
+    """A >= 50k-packet capture with a nested 40-route RIB."""
+    rng = np.random.default_rng(77)
+    prefixes = [Prefix.parse(f"10.{i}.0.0/16") for i in range(32)]
+    prefixes += [Prefix.parse(f"10.{i}.{i}.0/24") for i in range(8)]
+    routes = [
+        Route(prefix, AsPath((64900 + i,)),
+              AutonomousSystem(64900 + i, AsTier.STUB))
+        for i, prefix in enumerate(prefixes)
+    ]
+    table = RoutingTable(routes)
+    axis = TimeAxis(0.0, 60.0, 6)
+    rates = rng.uniform(2e4, 8e4, size=(len(prefixes), axis.num_slots))
+    matrix = RateMatrix(prefixes, axis, rates)
+    path = str(tmp_path_factory.mktemp("bench") / "ingest.pcap")
+    packets = write_pcap(matrix, path, PacketizerConfig(seed=9))
+    assert packets >= MIN_PACKETS
+    # warm the page cache so both paths time CPU work, not first-touch IO
+    with open(path, "rb") as stream:
+        while stream.read(1 << 22):
+            pass
+    return path, table, axis, packets
+
+
+def _best_of(runs: int, func):
+    """Minimum wall time over ``runs`` calls (noise-robust), plus the
+    last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        value = func()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def test_ingestion_throughput(capture, report_writer):
+    path, table, axis, packets = capture
+    size_mb = os.path.getsize(path) / 1e6
+
+    slow_seconds, (slow_matrix, slow_stats) = _best_of(
+        2, lambda: aggregate_pcap(path, table, axis, vectorized=False),
+    )
+    fast_seconds, (fast_matrix, fast_stats) = _best_of(
+        3, lambda: aggregate_pcap(path, table, axis, vectorized=True),
+    )
+
+    assert np.allclose(slow_matrix.rates, fast_matrix.rates)
+    assert slow_stats == fast_stats
+    speedup = slow_seconds / fast_seconds
+    report_writer("bench_streaming_ingestion", "\n".join([
+        f"capture: {packets} packets, {size_mb:.1f} MB, "
+        f"{len(table)} routes",
+        f"per-packet loop: {slow_seconds:.3f} s "
+        f"({packets / slow_seconds:,.0f} pkt/s)",
+        f"vectorized path: {fast_seconds:.3f} s "
+        f"({packets / fast_seconds:,.0f} pkt/s)",
+        f"speedup: {speedup:.1f}x (acceptance bar {MIN_SPEEDUP:.0f}x)",
+    ]))
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_streaming_classification_throughput(paper_run, report_writer):
+    matrix = paper_run.workloads["east-coast"].matrix
+    pipeline = StreamingPipeline(
+        MatrixSlotSource(matrix),
+        scheme=Scheme.CONSTANT_LOAD, feature=Feature.LATENT_HEAT,
+    )
+    start = time.perf_counter()
+    slots = sum(1 for _ in pipeline.events())
+    seconds = time.perf_counter() - start
+    assert slots == matrix.num_slots
+    slots_per_second = slots / seconds
+    # one 5-minute-slot link needs 1/300 slot/s of budget
+    links_per_core = slots_per_second * 300.0
+    report_writer("bench_streaming_classification", "\n".join([
+        f"matrix: {matrix.num_flows} flows x {matrix.num_slots} slots",
+        f"classified {slots} slots in {seconds:.3f} s "
+        f"({slots_per_second:,.0f} slots/s)",
+        f"five-minute-slot links serviceable per core: "
+        f"{links_per_core:,.0f}",
+    ]))
+    assert slots_per_second > 0

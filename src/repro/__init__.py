@@ -38,7 +38,14 @@ from repro.core import (
 from repro.errors import ReproError
 from repro.flows import FlowAggregator, RateMatrix, TimeAxis, aggregate_pcap
 from repro.net import Prefix
-from repro.routing import RoutingTable, generate_rib
+from repro.pipeline import (
+    MatrixSlotSource,
+    PcapPacketSource,
+    StreamingAggregator,
+    StreamingPipeline,
+    run_stream,
+)
+from repro.routing import CompiledLpm, RoutingTable, generate_rib
 from repro.stats import aest, hill_estimator
 from repro.traffic import (
     LinkWorkload,
@@ -54,21 +61,27 @@ __all__ = [
     "AestThreshold",
     "ClassificationEngine",
     "ClassificationResult",
+    "CompiledLpm",
     "ConstantLoadThreshold",
     "Feature",
     "FlowAggregator",
     "LatentHeatClassifier",
     "LinkWorkload",
+    "MatrixSlotSource",
+    "PcapPacketSource",
     "Prefix",
     "RateMatrix",
     "ReproError",
     "RoutingTable",
     "Scheme",
     "SingleFeatureClassifier",
+    "StreamingAggregator",
+    "StreamingPipeline",
     "ThresholdTracker",
     "TimeAxis",
     "aest",
     "aggregate_pcap",
+    "run_stream",
     "east_coast_link",
     "generate_rib",
     "hill_estimator",

@@ -4,6 +4,7 @@ from repro.analysis.busy import DEFAULT_BUSY_HOURS, BusyPeriod, find_busy_period
 from repro.analysis.churn import ChurnReport, churn_reduction
 from repro.analysis.elephants import (
     ElephantSeries,
+    ElephantSeriesBuilder,
     working_hours_lift,
     working_hours_mask,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "ChurnReport",
     "DEFAULT_BUSY_HOURS",
     "ElephantSeries",
+    "ElephantSeriesBuilder",
     "FIG1C_MAX_SLOTS",
     "HoldingTimeAnalysis",
     "OriginTierReport",

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.result import ClassificationResult
+from repro.errors import ClassificationError
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,54 @@ class ElephantSeries:
         if mean == 0:
             return 0.0
         return float(self.counts.std() / mean)
+
+
+@dataclass
+class ElephantSeriesBuilder:
+    """Accumulate an :class:`ElephantSeries` one slot at a time.
+
+    The streaming pipeline cannot call :meth:`ElephantSeries.from_result`
+    — there is no result object until the stream ends, and a pure
+    streaming run never builds one. The builder keeps just the two
+    per-slot scalars the series needs, so its state is O(slots seen),
+    independent of the flow population.
+    """
+
+    label: str
+    slot_seconds: float
+    _counts: list[int] = field(default_factory=list)
+    _fractions: list[float] = field(default_factory=list)
+
+    def add_slot(self, rates: np.ndarray, elephant_mask: np.ndarray) -> None:
+        """Account one classified slot (call in slot order)."""
+        if rates.shape != elephant_mask.shape:
+            raise ClassificationError(
+                f"rates shape {rates.shape} != mask shape "
+                f"{elephant_mask.shape}"
+            )
+        total = float(rates.sum())
+        elephant_traffic = float(rates[elephant_mask].sum())
+        self._counts.append(int(elephant_mask.sum()))
+        self._fractions.append(
+            elephant_traffic / total if total > 0 else 0.0
+        )
+
+    @property
+    def slots_seen(self) -> int:
+        """Slots accumulated so far."""
+        return len(self._counts)
+
+    def build(self) -> ElephantSeries:
+        """The series over every slot added so far."""
+        if not self._counts:
+            raise ClassificationError("no slots added to the series")
+        hours = np.arange(len(self._counts)) * self.slot_seconds / 3600.0
+        return ElephantSeries(
+            label=self.label,
+            hours=hours,
+            counts=np.array(self._counts, dtype=float),
+            traffic_fraction=np.array(self._fractions),
+        )
 
 
 def working_hours_mask(hours: np.ndarray, start_hour_of_day: float,

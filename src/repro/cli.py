@@ -5,7 +5,10 @@ Commands:
 - ``simulate`` — generate a synthetic link workload and save the rate
   matrix to ``.npz`` (optionally also a pcap realisation).
 - ``classify`` — load a rate matrix, run a scheme/feature combination,
-  print the summary table.
+  print the summary table (or JSON with ``--json``).
+- ``stream``   — classify a capture slot by slot through the streaming
+  pipeline: pcap in, verdicts out, memory bounded by O(flows × window)
+  however long the capture is. Also replays ``.npz``/``.csv`` matrices.
 - ``figures``  — run the full two-link paper experiment and render
   Figure 1(a)–(c) as ASCII charts.
 
@@ -16,17 +19,37 @@ lines of Python away.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.analysis.elephants import ElephantSeries
 from repro.analysis.holding import HoldingTimeAnalysis
 from repro.analysis.report import format_table
-from repro.core.engine import ClassificationEngine, Feature, Scheme
+from repro.core.engine import (
+    ClassificationEngine,
+    EngineConfig,
+    Feature,
+    Scheme,
+)
+from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import Figure1a, Figure1b, Figure1c
 from repro.experiments.runner import run_paper_experiment
 from repro.flows.matrix import RateMatrix
+from repro.net.prefix import Prefix
+from repro.pipeline.aggregator import (
+    AggregatingSlotSource,
+    StreamingAggregator,
+)
+from repro.pipeline.engine import StreamingPipeline
+from repro.pipeline.sources import (
+    CsvPacketSource,
+    MatrixSlotSource,
+    PcapPacketSource,
+    SlotSource,
+)
+from repro.routing.lpm import CompiledLpm, FixedLengthResolver
 from repro.traffic.scenarios import east_coast_link, west_coast_link
 
 
@@ -52,22 +75,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "classify", help="classify a saved rate matrix",
     )
     classify.add_argument("matrix", help=".npz file from `repro simulate`")
-    classify.add_argument("--scheme", choices=("aest", "constant-load"),
-                          default="constant-load")
-    classify.add_argument("--feature", choices=("single", "latent-heat"),
-                          default="latent-heat")
-    classify.add_argument("--alpha", type=float, default=0.9,
-                          help="EWMA smoothing weight")
-    classify.add_argument("--beta", type=float, default=0.8,
-                          help="constant-load target share")
-    classify.add_argument("--window", type=int, default=12,
-                          help="latent-heat window in slots")
+    _add_classifier_options(classify)
+    classify.add_argument("--json", action="store_true",
+                          help="print a machine-readable JSON summary")
+
+    stream = commands.add_parser(
+        "stream", help="classify a capture slot by slot (streaming)",
+    )
+    stream.add_argument("input",
+                        help=".pcap capture, flow-record .csv, or a "
+                             ".npz/.csv rate matrix to replay")
+    _add_classifier_options(stream)
+    stream.add_argument("--slot-seconds", type=float, default=60.0,
+                        help="slot length for packet inputs (seconds)")
+    stream.add_argument("--rib", metavar="FILE",
+                        help="prefix file (one CIDR per line) used as "
+                             "LPM flow keys for packet inputs")
+    stream.add_argument("--prefix-length", type=int, default=16,
+                        help="fixed-length flow granularity when no "
+                             "--rib is given")
+    stream.add_argument("--quiet", action="store_true",
+                        help="suppress the per-slot monitor lines")
+    stream.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON summary")
 
     figures = commands.add_parser(
         "figures", help="run the paper experiment, render Figure 1",
     )
     figures.add_argument("--scale", type=float, default=0.25)
     return parser
+
+
+def _add_classifier_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--scheme", choices=("aest", "constant-load"),
+                         default="constant-load")
+    command.add_argument("--feature", choices=("single", "latent-heat"),
+                         default="latent-heat")
+    command.add_argument("--alpha", type=float, default=0.9,
+                         help="EWMA smoothing weight")
+    command.add_argument("--beta", type=float, default=0.8,
+                         help="constant-load target share")
+    command.add_argument("--window", type=int, default=12,
+                         help="latent-heat window in slots")
+
+
+def _scheme_and_feature(args: argparse.Namespace) -> tuple[Scheme, Feature]:
+    scheme = Scheme.AEST if args.scheme == "aest" else Scheme.CONSTANT_LOAD
+    feature = (Feature.SINGLE if args.feature == "single"
+               else Feature.LATENT_HEAT)
+    return scheme, feature
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -85,16 +141,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_classify(args: argparse.Namespace) -> int:
     matrix = RateMatrix.load_npz(args.matrix)
-    scheme = Scheme.AEST if args.scheme == "aest" else Scheme.CONSTANT_LOAD
-    feature = (Feature.SINGLE if args.feature == "single"
-               else Feature.LATENT_HEAT)
-    from repro.core.engine import EngineConfig
+    scheme, feature = _scheme_and_feature(args)
     engine = ClassificationEngine(matrix, EngineConfig(
         alpha=args.alpha, beta=args.beta, window=args.window,
     ))
     result = engine.run(scheme, feature)
     series = ElephantSeries.from_result(result)
     analysis = HoldingTimeAnalysis.from_result(result, busy_hours=None)
+    if args.json:
+        print(json.dumps({
+            "run": result.label,
+            "num_flows": matrix.num_flows,
+            "num_slots": matrix.num_slots,
+            "mean_elephants_per_slot": series.mean_count,
+            "mean_traffic_fraction": series.mean_fraction,
+            "mean_holding_minutes": analysis.mean_minutes,
+            "single_interval_flows": analysis.single_interval_flows,
+            "threshold_fallbacks": len(result.thresholds.fallback_slots),
+        }, indent=2))
+        return 0
     print(format_table(
         ["metric", "value"],
         [
@@ -109,6 +174,95 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         ],
         title="classification summary",
     ))
+    return 0
+
+
+def _load_rib_prefixes(path: str) -> CompiledLpm:
+    prefixes = []
+    with open(path) as stream:
+        for line in stream:
+            line = line.split("#", 1)[0].strip()
+            if line:
+                prefixes.append(Prefix.parse(line))
+    if not prefixes:
+        raise ReproError(f"no prefixes in RIB file {path}")
+    return CompiledLpm(prefixes)
+
+
+def _stream_source(args: argparse.Namespace
+                   ) -> tuple[SlotSource, StreamingAggregator | None]:
+    """Build the slot source (and aggregator, for packet inputs)."""
+    path = args.input
+    if path.endswith(".npz"):
+        return MatrixSlotSource(RateMatrix.load_npz(path)), None
+    if path.endswith(".csv"):
+        with open(path) as stream:
+            header = stream.readline()
+        if header.startswith("prefix"):
+            return MatrixSlotSource(RateMatrix.load_csv(path)), None
+        packets = CsvPacketSource(path)
+    else:
+        packets = PcapPacketSource(path)
+    if args.rib:
+        resolver = _load_rib_prefixes(args.rib)
+    else:
+        resolver = FixedLengthResolver(args.prefix_length)
+    aggregator = StreamingAggregator(resolver,
+                                     slot_seconds=args.slot_seconds)
+    return AggregatingSlotSource(packets, aggregator), aggregator
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    scheme, feature = _scheme_and_feature(args)
+    source, aggregator = _stream_source(args)
+    pipeline = StreamingPipeline(source, scheme=scheme, feature=feature,
+                                 config=EngineConfig(
+                                     alpha=args.alpha, beta=args.beta,
+                                     window=args.window,
+                                 ))
+    slots = 0
+    for event in pipeline.events():
+        slots += 1
+        if args.quiet or args.json:
+            continue
+        total = float(event.frame.rates.sum())
+        elephant = float(
+            event.frame.rates[event.verdict.elephant_mask[
+                :event.frame.num_flows]].sum()
+        )
+        fraction = elephant / total if total > 0 else 0.0
+        print(f"slot {event.frame.slot:4d}  "
+              f"t={event.frame.start:12.1f}  "
+              f"flows={event.frame.num_flows:5d}  "
+              f"threshold={event.verdict.thresholds.smoothed / 1e3:9.1f} "
+              f"kb/s  elephants={event.verdict.num_elephants:4d}  "
+              f"fraction={fraction:.2f}")
+    if slots == 0:
+        print("no slots in input", file=sys.stderr)
+        return 1
+    series = pipeline.series()
+    num_flows = (pipeline.classifier.num_flows
+                 if pipeline.classifier is not None else 0)
+    summary: dict[str, object] = {
+        "run": pipeline.label,
+        "num_slots": slots,
+        "num_flows": num_flows,
+        "mean_elephants_per_slot": series.mean_count,
+        "mean_traffic_fraction": series.mean_fraction,
+    }
+    if aggregator is not None:
+        summary.update({
+            "packets_seen": aggregator.stats.packets_seen,
+            "packets_matched": aggregator.stats.packets_matched,
+            "packets_unrouted": aggregator.stats.packets_unrouted,
+            "packets_skipped": aggregator.stats.packets_skipped,
+            "bytes_matched": aggregator.stats.bytes_matched,
+        })
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    rows = [[key, value] for key, value in summary.items()]
+    print(format_table(["metric", "value"], rows, title="stream summary"))
     return 0
 
 
@@ -128,6 +282,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "classify": _cmd_classify,
+        "stream": _cmd_stream,
         "figures": _cmd_figures,
     }
     return handlers[args.command](args)

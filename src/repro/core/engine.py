@@ -99,6 +99,22 @@ class ClassificationEngine:
                 results[result.label] = result
         return results
 
+    def run_streaming(self, scheme: Scheme,
+                      feature: Feature) -> ClassificationResult:
+        """Classify through the streaming pipeline instead of in batch.
+
+        The matrix replays column by column through the online
+        classifier; the reassembled result is identical to :meth:`run`
+        (asserted in the test suite). This is the batch-as-a-wrapper
+        entry point — useful when validating streaming deployments
+        against recorded matrices.
+        """
+        # Imported here: repro.pipeline sits above the core layer.
+        from repro.pipeline.engine import classify_matrix_streaming
+        return classify_matrix_streaming(
+            self.matrix, scheme=scheme, feature=feature, config=self.config,
+        )
+
     def run_paper_grid(self) -> dict[str, ClassificationResult]:
         """The full 2×2 grid the paper's evaluation uses."""
         return self.run_all(features=(Feature.SINGLE, Feature.LATENT_HEAT))

@@ -45,12 +45,14 @@ class SlotVerdict:
 
 
 class OnlineClassifier:
-    """Streaming classifier over a fixed flow population.
+    """Streaming classifier over a growable flow population.
 
-    ``num_flows`` fixes the population (flow identity is positional, as
-    in :class:`~repro.flows.matrix.RateMatrix`). With ``window=1`` the
-    decision rule degenerates to ``x > B̄`` only when using latent heat
-    over a single slot — pass ``use_latent_heat=False`` for the exact
+    ``num_flows`` sets the initial population (flow identity is
+    positional, as in :class:`~repro.flows.matrix.RateMatrix`);
+    :meth:`grow` appends rows mid-stream when new flows are discovered,
+    without disturbing existing rows. With ``window=1`` the decision
+    rule degenerates to ``x > B̄`` only when using latent heat over a
+    single slot — pass ``use_latent_heat=False`` for the exact
     single-feature rule.
     """
 
@@ -68,12 +70,45 @@ class OnlineClassifier:
         self._tracker = ThresholdTracker(detector, alpha=alpha)
         self._deviation_ring = np.zeros((num_flows, window))
         self._heat = np.zeros(num_flows)
+        self._smoothed_ring = np.zeros(window)
         self._slot = 0
 
     @property
     def slots_observed(self) -> int:
         """How many slots have been consumed."""
         return self._slot
+
+    def grow(self, num_flows: int) -> None:
+        """Extend the population to ``num_flows``, appending new rows.
+
+        Existing flows keep their row indices and all their state — the
+        positional identity guarantee dynamic sources rely on. Each new
+        row is initialised as if the flow had been present with zero
+        bandwidth since slot 0: its deviation ring is backfilled with
+        ``-B̄_th(t)`` for the observed slots still inside the window, so
+        its latent heat (and therefore every future verdict) is exactly
+        what the batch classifier computes for an all-zero row. The
+        population can only grow; shrinking would reassign identities.
+        """
+        if num_flows < self.num_flows:
+            raise ClassificationError(
+                f"cannot shrink population from {self.num_flows} "
+                f"to {num_flows}"
+            )
+        extra = num_flows - self.num_flows
+        if extra == 0:
+            return
+        backfill = np.zeros(self.window)
+        for age in range(1, min(self._slot, self.window) + 1):
+            position = (self._slot - age) % self.window
+            backfill[position] = -self._smoothed_ring[position]
+        self._deviation_ring = np.vstack([
+            self._deviation_ring, np.tile(backfill, (extra, 1)),
+        ])
+        self._heat = np.concatenate([
+            self._heat, np.full(extra, backfill.sum()),
+        ])
+        self.num_flows = num_flows
 
     def observe_slot(self, rates: np.ndarray) -> SlotVerdict:
         """Consume one slot's flow bandwidths and classify it."""
@@ -83,6 +118,7 @@ class OnlineClassifier:
                 f"expected {self.num_flows} rates, got shape {rates.shape}"
             )
         thresholds = self._tracker.observe(rates)
+        self._smoothed_ring[self._slot % self.window] = thresholds.smoothed
         deviations = rates - thresholds.smoothed
 
         if self.use_latent_heat:

@@ -188,11 +188,14 @@ class RateMatrix:
 
         Header row: ``prefix,<slot start timestamps...>``; one row per
         flow with bandwidths in bits/second. The axis is recoverable
-        from the header timestamps.
+        from the header timestamps, which are therefore written at full
+        precision — rounding them (the old ``.3f`` format) made
+        sub-millisecond slot lengths round-trip to a wrong inferred
+        axis.
         """
         times = self.axis.slot_times()
         with open(path, "w") as stream:
-            header = ",".join(["prefix"] + [f"{t:.3f}" for t in times])
+            header = ",".join(["prefix"] + [repr(float(t)) for t in times])
             stream.write(header + "\n")
             for prefix, row in zip(self.prefixes, self.rates):
                 cells = ",".join(f"{rate:.6g}" for rate in row)

@@ -118,6 +118,18 @@ class FlowRecord:
         if timestamp > self.last_seen:
             self.last_seen = timestamp
 
+    def add_group(self, packets: int, wire_bytes: int,
+                  first_seen: float, last_seen: float) -> None:
+        """Account a pre-aggregated group of packets (vectorized paths)."""
+        if wire_bytes < 0 or packets < 0:
+            raise ClassificationError("group totals cannot be negative")
+        self.bytes_total += wire_bytes
+        self.packets += packets
+        if first_seen < self.first_seen:
+            self.first_seen = first_seen
+        if last_seen > self.last_seen:
+            self.last_seen = last_seen
+
     @property
     def mean_packet_size(self) -> float:
         """Average packet size in bytes (0 when no packets)."""
@@ -131,3 +143,24 @@ class FlowRecord:
         if self.packets == 0:
             return 0.0
         return max(0.0, self.last_seen - self.first_seen)
+
+
+def grouped_packet_stats(groups: np.ndarray, sizes: np.ndarray,
+                         timestamps: np.ndarray, num_groups: int,
+                         ) -> tuple[np.ndarray, np.ndarray,
+                                    np.ndarray, np.ndarray]:
+    """Per-group packet counts, byte sums, and first/last timestamps.
+
+    The shared accumulation kernel behind both vectorized ingestion
+    paths (:meth:`FlowAggregator.add_batch` and the streaming
+    aggregator): one ``bincount``/``ufunc.at`` pass instead of a Python
+    loop per packet. Groups with no packets report ``inf``/``-inf``
+    first/last — callers skip rows where ``counts`` is zero.
+    """
+    counts = np.bincount(groups, minlength=num_groups)
+    byte_sums = np.bincount(groups, weights=sizes, minlength=num_groups)
+    first = np.full(num_groups, np.inf)
+    last = np.full(num_groups, -np.inf)
+    np.minimum.at(first, groups, timestamps)
+    np.maximum.at(last, groups, timestamps)
+    return counts, byte_sums, first, last

@@ -1,0 +1,52 @@
+"""The streaming pipeline: source → aggregator → classifier.
+
+This package makes slot-at-a-time processing the canonical execution
+path. Packet sources stream columnar batches, the streaming aggregator
+bins them into slot frames over a dynamically discovered flow
+population, and the pipeline engine classifies each frame as it
+completes — with memory bounded by O(flows × window), independent of
+capture length. Batch execution is a thin wrapper: collect the stream
+and you get exactly what the batch engine computes.
+"""
+
+from repro.pipeline.aggregator import (
+    AggregatingSlotSource,
+    PrefixResolver,
+    StreamingAggregator,
+)
+from repro.pipeline.engine import (
+    StreamCollector,
+    StreamEvent,
+    StreamingPipeline,
+    classify_matrix_streaming,
+    run_stream,
+)
+from repro.pipeline.sources import (
+    CsvPacketSource,
+    MatrixSlotSource,
+    PacketBatch,
+    PacketSource,
+    PcapPacketSource,
+    ScenarioSlotSource,
+    SlotFrame,
+    SlotSource,
+)
+
+__all__ = [
+    "AggregatingSlotSource",
+    "CsvPacketSource",
+    "MatrixSlotSource",
+    "PacketBatch",
+    "PacketSource",
+    "PcapPacketSource",
+    "PrefixResolver",
+    "ScenarioSlotSource",
+    "SlotFrame",
+    "SlotSource",
+    "StreamCollector",
+    "StreamEvent",
+    "StreamingAggregator",
+    "StreamingPipeline",
+    "classify_matrix_streaming",
+    "run_stream",
+]

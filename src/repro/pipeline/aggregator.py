@@ -1,0 +1,256 @@
+"""Streaming aggregation: packet batches → completed slot frames.
+
+This is the pipeline's middle stage. It consumes the columnar batches a
+:class:`~repro.pipeline.sources.PacketSource` produces and emits one
+:class:`~repro.pipeline.sources.SlotFrame` per measurement slot, as
+soon as the slot is known to be complete (i.e. a later packet arrives).
+Unlike the batch :class:`~repro.flows.aggregate.FlowAggregator`, it
+needs no time axis up front and no fixed flow population:
+
+- the axis grows forward from the first packet's slot (aligned to the
+  ``slot_seconds`` grid), one slot at a time, for as long as the
+  capture runs;
+- flows are discovered from the traffic. A prefix gets the next free
+  row the first time it carries bytes and keeps that row forever — the
+  positional identity the classifiers depend on. Earlier frames simply
+  have fewer rows.
+
+State is one open slot's byte vector plus per-flow accounting —
+O(flows), independent of capture length. Packets must arrive in
+non-decreasing slot order (pcap files are chronological); a packet for
+an already-emitted slot is counted in ``stats.packets_outside_axis``
+and dropped, which is what a one-pass monitor has to do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ClassificationError
+from repro.flows.aggregate import AggregationStats
+from repro.flows.records import (
+    DEFAULT_SLOT_SECONDS,
+    FlowRecord,
+    TimeAxis,
+    grouped_packet_stats,
+)
+from repro.net.prefix import Prefix
+from repro.pipeline.sources import PacketBatch, PacketSource, SlotFrame
+from repro.routing.lpm import NO_ROUTE, CompiledLpm
+from repro.routing.rib import RoutingTable
+
+
+class PrefixResolver(Protocol):
+    """Batch address → prefix-row resolution (the aggregation key)."""
+
+    prefixes: Sequence[Prefix]
+
+    def lookup(self, addresses: np.ndarray) -> np.ndarray:
+        """Rows into :attr:`prefixes` (:data:`NO_ROUTE` for no match)."""
+        ...
+
+
+class StreamingAggregator:
+    """Bin packet batches into slots over a dynamic flow population.
+
+    ``resolver`` maps destination addresses to prefixes — a
+    :class:`~repro.routing.lpm.CompiledLpm`, a
+    :class:`~repro.routing.lpm.FixedLengthResolver`, or a
+    :class:`~repro.routing.rib.RoutingTable` (compiled on entry).
+    ``start`` pins slot 0's timestamp; by default it is the first
+    packet's timestamp floored to the ``slot_seconds`` grid.
+    """
+
+    def __init__(self, resolver: PrefixResolver | RoutingTable,
+                 slot_seconds: float = DEFAULT_SLOT_SECONDS,
+                 start: float | None = None) -> None:
+        if slot_seconds <= 0:
+            raise ClassificationError("slot_seconds must be positive")
+        if isinstance(resolver, RoutingTable):
+            resolver = CompiledLpm.from_table(resolver)
+        self.resolver = resolver
+        self.slot_seconds = float(slot_seconds)
+        self.start = start
+        self.stats = AggregationStats()
+        #: Discovered flows, in first-traffic order (row order).
+        self.prefixes: list[Prefix] = []
+        self._row_of: dict[int, int] = {}  # resolver row -> stream row
+        self._open: np.ndarray = np.zeros(0)  # open slot's byte counts
+        self._open_slot: int | None = None
+        self._first_slot: int | None = None  # slot of the first frame
+        self._frames_emitted = 0
+        self._finished = False
+        self._records: list[FlowRecord] = []
+
+    @property
+    def num_flows(self) -> int:
+        """Flows discovered so far."""
+        return len(self.prefixes)
+
+    @property
+    def slots_emitted(self) -> int:
+        """Frames emitted so far."""
+        return self._frames_emitted
+
+    def axis(self) -> TimeAxis:
+        """The time axis covered by the frames emitted so far.
+
+        Starts at the *first emitted frame's* slot (with an explicit
+        ``start``, traffic may begin several slots in; no frames are
+        emitted for the silent lead-in).
+        """
+        if (self.start is None or self._first_slot is None
+                or self._frames_emitted == 0):
+            raise ClassificationError("no slots emitted yet")
+        return TimeAxis(self.start + self._first_slot * self.slot_seconds,
+                        self.slot_seconds, self._frames_emitted)
+
+    def flow_records(self) -> list[FlowRecord]:
+        """Per-flow accounting records, in row order."""
+        return list(self._records)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, batch: PacketBatch) -> list[SlotFrame]:
+        """Account one batch; returns the slots it completed."""
+        if self._finished:
+            raise ClassificationError("aggregator already finished")
+        self.stats.packets_seen += batch.packets_seen
+        self.stats.packets_skipped += batch.packets_skipped
+        if batch.num_packets == 0:
+            return []
+
+        timestamps = batch.timestamps
+        if self.start is None:
+            first = float(timestamps[0])
+            self.start = math.floor(first / self.slot_seconds) \
+                * self.slot_seconds
+
+        rows = self.resolver.lookup(batch.destinations)
+        routed = rows != NO_ROUTE
+        slots = np.floor(
+            (timestamps - self.start) / self.slot_seconds
+        ).astype(np.int64)
+        floor_slot = self._open_slot if self._open_slot is not None else 0
+        timely = slots >= floor_slot
+        self.stats.packets_outside_axis += int((~timely).sum())
+        self.stats.packets_unrouted += int((timely & ~routed).sum())
+        keep = timely & routed
+        if not keep.any():
+            return []
+
+        slots = slots[keep]
+        sizes = batch.wire_bytes[keep]
+        rows = rows[keep]
+        timestamps = timestamps[keep]
+        self.stats.packets_matched += int(keep.sum())
+        self.stats.bytes_matched += int(sizes.sum())
+
+        # Group by slot (stable: preserves time order within a slot) and
+        # discover flows per group, so the population a frame carries is
+        # exactly the set of flows seen up to that slot — independent of
+        # how the capture happened to be chunked into batches.
+        frames: list[SlotFrame] = []
+        order = np.argsort(slots, kind="stable")
+        slots, sizes, rows, timestamps = (
+            slots[order], sizes[order], rows[order], timestamps[order]
+        )
+        boundaries = np.flatnonzero(np.diff(slots)) + 1
+        for group_slots, group_rows, group_sizes, group_times in zip(
+            np.split(slots, boundaries), np.split(rows, boundaries),
+            np.split(sizes, boundaries), np.split(timestamps, boundaries),
+        ):
+            slot = int(group_slots[0])
+            if self._open_slot is None:
+                self._open_slot = slot
+            while self._open_slot < slot:
+                frames.append(self._emit_open())
+            stream_rows = self._stream_rows(group_rows)
+            self._account_records(stream_rows, group_sizes, group_times)
+            np.add.at(self._open, stream_rows, group_sizes)
+        return frames
+
+    def finish(self) -> list[SlotFrame]:
+        """Flush the final open slot; the aggregator is then closed."""
+        if self._finished:
+            return []
+        self._finished = True
+        if self._open_slot is None:
+            return []
+        return [self._emit_open()]
+
+    def frames(self, source: PacketSource) -> Iterator[SlotFrame]:
+        """Drive a packet source to exhaustion, yielding slot frames."""
+        for batch in source.batches():
+            yield from self.ingest(batch)
+        yield from self.finish()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _stream_rows(self, resolver_rows: np.ndarray) -> np.ndarray:
+        """Map resolver rows to stream rows, discovering new flows."""
+        unique = np.unique(resolver_rows)
+        for row in unique.tolist():
+            if row not in self._row_of:
+                self._row_of[row] = len(self.prefixes)
+                prefix = self.resolver.prefixes[row]
+                self.prefixes.append(prefix)
+                self._records.append(FlowRecord(prefix))
+        if self.num_flows > self._open.size:
+            grown = np.zeros(self.num_flows)
+            grown[:self._open.size] = self._open
+            self._open = grown
+        table = np.array([self._row_of[row] for row in unique.tolist()],
+                         dtype=np.int64)
+        return table[np.searchsorted(unique, resolver_rows)]
+
+    def _account_records(self, stream_rows: np.ndarray, sizes: np.ndarray,
+                         timestamps: np.ndarray) -> None:
+        counts, byte_sums, first, last = grouped_packet_stats(
+            stream_rows, sizes, timestamps, self.num_flows,
+        )
+        for row in np.flatnonzero(counts).tolist():
+            self._records[row].add_group(
+                int(counts[row]), int(byte_sums[row]),
+                float(first[row]), float(last[row]),
+            )
+
+    def _emit_open(self) -> SlotFrame:
+        assert self._open_slot is not None and self.start is not None
+        rates = self._open * 8.0 / self.slot_seconds
+        frame = SlotFrame(
+            slot=self._open_slot,
+            start=self.start + self._open_slot * self.slot_seconds,
+            rates=rates,
+            population=self.prefixes,
+        )
+        self._open = np.zeros(self.num_flows)
+        if self._first_slot is None:
+            self._first_slot = self._open_slot
+        self._open_slot += 1
+        self._frames_emitted += 1
+        return frame
+
+
+class AggregatingSlotSource:
+    """Adapt ``packet source + streaming aggregator`` to a slot source.
+
+    This is the composition the ``repro stream`` command runs: packets
+    in, classified slots out, one pass, bounded memory.
+    """
+
+    def __init__(self, packets: PacketSource,
+                 aggregator: StreamingAggregator) -> None:
+        self.packets = packets
+        self.aggregator = aggregator
+        self.slot_seconds = aggregator.slot_seconds
+
+    def slots(self) -> Iterator[SlotFrame]:
+        return self.aggregator.frames(self.packets)

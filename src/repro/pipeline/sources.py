@@ -1,0 +1,381 @@
+"""Pipeline inputs: packet sources and slot sources.
+
+The streaming pipeline consumes measurements at one of two altitudes:
+
+- a :class:`PacketSource` yields :class:`PacketBatch` chunks — columnar
+  numpy arrays of per-packet facts — which the aggregation stage bins
+  into slots. Memory is bounded by the chunk size, never the capture
+  length.
+- a :class:`SlotSource` yields :class:`SlotFrame` objects — one slot's
+  flow bandwidths at a time — which feed the classifier directly.
+
+Adapters cover the workloads the repo already speaks: pcap capture
+files (with a vectorized scan that never builds per-packet Python
+objects), flow-record CSV exports, in-memory rate matrices, and the
+synthetic link scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ClassificationError, PcapFormatError
+from repro.flows.matrix import RateMatrix
+from repro.net import ipv4
+from repro.net.prefix import Prefix
+from repro.pcap.packet import PacketSummary
+from repro.pcap.pcapfile import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW_IP,
+    PcapHeader,
+    read_header,
+)
+
+#: Default packets per batch — the ingestion memory granule.
+DEFAULT_CHUNK_PACKETS = 65536
+#: Bytes read from disk per syscall while scanning captures.
+READ_BLOCK_BYTES = 1 << 22
+
+#: Byte offsets into the IPv4 fixed header.
+_IP_TOTAL_LENGTH = 2
+_IP_PROTOCOL = 9
+_IP_SOURCE = 12
+_IP_DESTINATION = 16
+_IP_MIN_HEADER = 20
+_ETHERTYPE_OFFSET = 12
+_ETHERNET_HEADER = 14
+_ETHERTYPE_IPV4 = 0x0800
+#: Size of a pcap per-record header (ts_sec, ts_frac, incl_len, orig_len).
+_RECORD_HEADER_BYTES = 16
+
+
+def _uint32_at(raw: np.ndarray, offsets: np.ndarray,
+               little: bool) -> np.ndarray:
+    """Gather 32-bit unsigned fields at ``offsets`` from a byte array."""
+    shifts = (0, 8, 16, 24) if little else (24, 16, 8, 0)
+    value = raw[offsets].astype(np.int64) << shifts[0]
+    for byte, shift in enumerate(shifts[1:], start=1):
+        value |= raw[offsets + byte].astype(np.int64) << shift
+    return value
+
+
+@dataclass(frozen=True)
+class PacketBatch:
+    """A columnar chunk of packets: parallel per-packet fact arrays.
+
+    ``packets_seen`` counts every capture record scanned for this batch,
+    including non-IPv4 or too-truncated records that produced no row;
+    the difference is :attr:`packets_skipped`.
+    """
+
+    timestamps: np.ndarray
+    sources: np.ndarray
+    destinations: np.ndarray
+    protocols: np.ndarray
+    wire_bytes: np.ndarray
+    packets_seen: int
+
+    @property
+    def num_packets(self) -> int:
+        """Rows in this batch."""
+        return self.timestamps.size
+
+    @property
+    def packets_skipped(self) -> int:
+        """Records scanned but not representable as IPv4 packet rows."""
+        return self.packets_seen - self.num_packets
+
+    def summaries(self) -> Iterator[PacketSummary]:
+        """Per-packet view, for callers still thinking in objects."""
+        for i in range(self.num_packets):
+            yield PacketSummary(
+                timestamp=float(self.timestamps[i]),
+                source=int(self.sources[i]),
+                destination=int(self.destinations[i]),
+                protocol=int(self.protocols[i]),
+                wire_bytes=int(self.wire_bytes[i]),
+            )
+
+
+class PacketSource(Protocol):
+    """Anything that can stream packets as columnar batches."""
+
+    def batches(self) -> Iterator[PacketBatch]:
+        """Yield packet batches in capture (time) order."""
+        ...
+
+
+@dataclass(frozen=True)
+class SlotFrame:
+    """One completed measurement slot from a slot source.
+
+    ``rates`` holds bits/second per flow; row ``i`` is flow
+    ``population[i]``. ``population`` may be a *live* sequence that
+    grows as later slots discover new flows — ``rates.size`` is the
+    authoritative population size when this frame was emitted, and rows
+    keep their position forever (flows are only appended).
+    """
+
+    slot: int
+    start: float
+    rates: np.ndarray
+    population: Sequence[Prefix]
+
+    @property
+    def num_flows(self) -> int:
+        """Population size at emission time."""
+        return self.rates.size
+
+
+class SlotSource(Protocol):
+    """Anything that can stream completed slots in time order."""
+
+    slot_seconds: float
+
+    def slots(self) -> Iterator[SlotFrame]:
+        """Yield slot frames with strictly increasing slot numbers."""
+        ...
+
+
+class PcapPacketSource:
+    """Chunked, vectorized scan of a classic pcap capture file.
+
+    The per-record Python work is one header unpack and four list
+    appends; every per-packet field (ethertype check, IPv4 version,
+    destination, wire size) is extracted with numpy over the whole
+    chunk. Non-IPv4 frames and records too truncated to carry an IPv4
+    fixed header are counted and skipped rather than raised — a
+    monitor keeps running when an LLDP frame goes by.
+    """
+
+    def __init__(self, path: str,
+                 chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> None:
+        if chunk_packets < 1:
+            raise ClassificationError("chunk_packets must be >= 1")
+        self.path = path
+        self.chunk_packets = chunk_packets
+
+    def batches(self) -> Iterator[PacketBatch]:
+        with open(self.path, "rb") as stream:
+            header = read_header(stream)
+            if header.linktype not in (LINKTYPE_ETHERNET, LINKTYPE_RAW_IP):
+                raise PcapFormatError(
+                    f"unsupported linktype {header.linktype}"
+                )
+            byte_order = "little" if header.byte_order == "<" else "big"
+            divisor = 1e9 if header.nanosecond else 1e6
+            # Reject over-snaplen lengths inside the chase loop: a
+            # corrupt length field must fail at that record, not after
+            # buffering the rest of the file hunting for its "end".
+            max_captured = (header.snaplen if header.snaplen > 0
+                            else 0x7FFFFFFF)
+            buffer = bytearray()  # += extends in place, no quadratic copy
+            position = 0
+            pending: list[int] = []  # record-header offsets into buffer
+            eof = False
+            from_bytes = int.from_bytes  # the one call per record
+            while True:
+                # Chase the record chain as far as the buffer allows.
+                # This loop is the only per-record Python work in the
+                # whole ingestion path — keep its body minimal.
+                limit = len(buffer) - _RECORD_HEADER_BYTES
+                want = self.chunk_packets
+                while len(pending) < want and position <= limit:
+                    incl = from_bytes(
+                        buffer[position + 8:position + 12], byte_order
+                    )
+                    if incl > max_captured:
+                        raise PcapFormatError(
+                            f"record claims {incl} bytes, above snaplen "
+                            f"{header.snaplen}"
+                        )
+                    jump = position + _RECORD_HEADER_BYTES + incl
+                    if jump > len(buffer):
+                        break
+                    pending.append(position)
+                    position = jump
+                if len(pending) >= self.chunk_packets:
+                    yield self._emit(buffer, position, pending, header,
+                                     divisor)
+                    del buffer[:position]
+                    position = 0
+                    pending = []
+                    continue
+                if eof:
+                    if position + _RECORD_HEADER_BYTES <= len(buffer):
+                        raise PcapFormatError("truncated pcap record body")
+                    if position < len(buffer):
+                        raise PcapFormatError("truncated pcap record header")
+                    if pending:
+                        yield self._emit(buffer, position, pending, header,
+                                         divisor)
+                    return
+                block = stream.read(READ_BLOCK_BYTES)
+                if block:
+                    buffer += block
+                else:
+                    eof = True
+
+    def _emit(self, buffer: bytearray, position: int, pending: list[int],
+              header: PcapHeader, divisor: float) -> PacketBatch:
+        # Copy out of the mutable bytearray: holding a view would make
+        # the `del buffer[:position]` reclaim a BufferError.
+        raw = np.frombuffer(bytes(memoryview(buffer)[:position]),
+                            dtype=np.uint8)
+        starts = np.array(pending, dtype=np.int64)
+        little = header.byte_order == "<"
+        seconds = _uint32_at(raw, starts, little)
+        fractions = _uint32_at(raw, starts + 4, little)
+        capture_len = _uint32_at(raw, starts + 8, little)
+        original_len = _uint32_at(raw, starts + 12, little)
+        return self._build_batch(
+            raw, header.linktype, divisor, seconds, fractions,
+            capture_len, original_len, starts + _RECORD_HEADER_BYTES,
+        )
+
+    @staticmethod
+    def _build_batch(raw: np.ndarray, linktype: int, divisor: float,
+                     seconds: np.ndarray, fractions: np.ndarray,
+                     capture_len: np.ndarray, original_len: np.ndarray,
+                     offset: np.ndarray) -> PacketBatch:
+        scanned = offset.size
+        overhead = _ETHERNET_HEADER if linktype == LINKTYPE_ETHERNET else 0
+
+        valid = capture_len >= overhead + _IP_MIN_HEADER
+        if linktype == LINKTYPE_ETHERNET:
+            eth = offset[valid] + _ETHERTYPE_OFFSET
+            ethertype = (raw[eth].astype(np.int64) << 8) | raw[eth + 1]
+            keep = np.flatnonzero(valid)[ethertype == _ETHERTYPE_IPV4]
+            valid = np.zeros_like(valid)
+            valid[keep] = True
+        ip = offset[valid] + overhead
+        version = raw[ip] >> 4
+        keep = np.flatnonzero(valid)[version == 4]
+
+        ip = offset[keep] + overhead
+        high = raw[ip + _IP_TOTAL_LENGTH].astype(np.int64)
+        total_length = (high << 8) | raw[ip + _IP_TOTAL_LENGTH + 1]
+        truncated = original_len[keep] > capture_len[keep]
+        wire = np.where(truncated, original_len[keep],
+                        overhead + total_length)
+
+        def dword(base: np.ndarray) -> np.ndarray:
+            value = raw[base].astype(np.int64)
+            for byte in range(1, 4):
+                value = (value << 8) | raw[base + byte]
+            return value
+
+        timestamps = (seconds.astype(np.float64)[keep]
+                      + fractions.astype(np.float64)[keep] / divisor)
+        return PacketBatch(
+            timestamps=timestamps,
+            sources=dword(ip + _IP_SOURCE),
+            destinations=dword(ip + _IP_DESTINATION),
+            protocols=raw[ip + _IP_PROTOCOL].astype(np.int64),
+            wire_bytes=wire,
+            packets_seen=scanned,
+        )
+
+
+class CsvPacketSource:
+    """Flow-record CSV: one ``timestamp,destination,wire_bytes`` row per
+    packet (or pre-aggregated record), destination as dotted quad or
+    integer. A header row starting with ``timestamp`` is skipped. This
+    is the interchange format exported by flow collectors that have
+    already shed payloads.
+    """
+
+    def __init__(self, path: str,
+                 chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> None:
+        if chunk_packets < 1:
+            raise ClassificationError("chunk_packets must be >= 1")
+        self.path = path
+        self.chunk_packets = chunk_packets
+
+    def batches(self) -> Iterator[PacketBatch]:
+        with open(self.path) as stream:
+            timestamps: list[float] = []
+            destinations: list[int] = []
+            sizes: list[int] = []
+            for line in stream:
+                line = line.strip()
+                if not line or line.startswith("timestamp"):
+                    continue
+                cells = line.split(",")
+                if len(cells) < 3:
+                    raise ClassificationError(
+                        f"flow-record row needs 3 columns: {line!r}"
+                    )
+                timestamps.append(float(cells[0]))
+                destination = cells[1].strip()
+                destinations.append(
+                    ipv4.parse_ipv4(destination) if "." in destination
+                    else int(destination)
+                )
+                sizes.append(int(cells[2]))
+                if len(timestamps) >= self.chunk_packets:
+                    yield self._build(timestamps, destinations, sizes)
+                    timestamps, destinations, sizes = [], [], []
+            if timestamps:
+                yield self._build(timestamps, destinations, sizes)
+
+    @staticmethod
+    def _build(timestamps: list[float], destinations: list[int],
+               sizes: list[int]) -> PacketBatch:
+        count = len(timestamps)
+        return PacketBatch(
+            timestamps=np.array(timestamps, dtype=np.float64),
+            sources=np.zeros(count, dtype=np.int64),
+            destinations=np.array(destinations, dtype=np.int64),
+            protocols=np.zeros(count, dtype=np.int64),
+            wire_bytes=np.array(sizes, dtype=np.int64),
+            packets_seen=count,
+        )
+
+
+class MatrixSlotSource:
+    """Stream the columns of an in-memory rate matrix.
+
+    The population is static, so every frame shares the matrix's prefix
+    list and full flow count — this is the adapter that lets any batch
+    artefact replay through the streaming path.
+    """
+
+    def __init__(self, matrix: RateMatrix) -> None:
+        self.matrix = matrix
+        self.slot_seconds = matrix.axis.slot_seconds
+
+    def slots(self) -> Iterator[SlotFrame]:
+        axis = self.matrix.axis
+        for slot in range(axis.num_slots):
+            yield SlotFrame(
+                slot=slot,
+                start=axis.slot_start(slot),
+                rates=self.matrix.rates[:, slot],
+                population=self.matrix.prefixes,
+            )
+
+
+class ScenarioSlotSource(MatrixSlotSource):
+    """Stream a synthetic paper-link scenario slot by slot.
+
+    ``link`` is ``"west"`` or ``"east"``; the fluid simulation runs once
+    at construction (it is inherently whole-horizon) and the resulting
+    matrix replays through the slot interface.
+    """
+
+    def __init__(self, link: str = "west", scale: float = 0.25,
+                 seed: int | None = None) -> None:
+        from repro.traffic.scenarios import east_coast_link, west_coast_link
+        if link == "west":
+            factory = west_coast_link
+        elif link == "east":
+            factory = east_coast_link
+        else:
+            raise ClassificationError(f"unknown link {link!r}")
+        kwargs = {} if seed is None else {"seed": seed}
+        self.workload = factory(scale=scale, **kwargs)
+        super().__init__(self.workload.matrix)

@@ -1,0 +1,142 @@
+"""Array-compiled longest-prefix match for the vectorized hot path.
+
+The radix trie (:mod:`repro.routing.radix`) resolves one address per
+call, which is the right shape for control-plane lookups but not for
+ingesting millions of packets. Because announced prefixes form a laminar
+family (any two prefixes either nest or are disjoint), longest-prefix
+match over the whole table flattens into a sorted list of disjoint
+address segments, each owned by the deepest covering prefix. Resolving a
+*batch* of addresses is then one ``np.searchsorted`` over the segment
+bounds — O(log n) per address with no Python-level work per packet.
+
+:class:`CompiledLpm` is an immutable snapshot: routes added to the table
+after compilation are not seen. The aggregation layer recompiles when it
+detects a table-size change; callers holding a long-lived compiled
+matcher across RIB churn should recompile explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.net.prefix import Prefix
+from repro.routing.rib import RoutingTable
+
+#: Row value meaning "no covering prefix" in lookup results.
+NO_ROUTE = -1
+
+
+class CompiledLpm:
+    """Longest-prefix match compiled to sorted segment arrays.
+
+    ``prefixes`` fixes the row numbering: ``lookup(addresses)`` returns,
+    for every address, the index into ``prefixes`` of its longest match
+    (or :data:`NO_ROUTE`). Rows are in lexicographic prefix order, the
+    same order :meth:`RoutingTable.prefixes` yields, so results align
+    with matrices built over ``table.prefixes()``.
+    """
+
+    def __init__(self, prefixes: Sequence[Prefix]) -> None:
+        if len(set(prefixes)) != len(prefixes):
+            raise RoutingError("duplicate prefixes in LPM table")
+        self.prefixes: list[Prefix] = sorted(prefixes)
+        bounds, owners = self._flatten(self.prefixes)
+        self._bounds = bounds
+        self._owners = owners
+
+    @classmethod
+    def from_table(cls, table: RoutingTable) -> "CompiledLpm":
+        """Compile the current snapshot of a routing table."""
+        return cls(table.prefixes())
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    @staticmethod
+    def _flatten(prefixes: list[Prefix]) -> tuple[np.ndarray, np.ndarray]:
+        """Sweep the laminar prefix family into disjoint owned segments.
+
+        Prefixes sorted by (network, length) visit every parent before
+        its children; a stack of open intervals tracks the current
+        deepest cover. Bounds use int64 because the final segment end is
+        2**32, one past the largest address.
+        """
+        bounds: list[int] = [0]
+        owners: list[int] = [NO_ROUTE]
+        stack: list[tuple[int, int]] = []  # (end, owner row)
+
+        def emit(position: int, owner: int) -> None:
+            if bounds[-1] == position:
+                owners[-1] = owner
+            elif owners[-1] != owner:
+                bounds.append(position)
+                owners.append(owner)
+
+        for row, prefix in enumerate(prefixes):
+            start = prefix.network
+            end = prefix.broadcast + 1
+            while stack and stack[-1][0] <= start:
+                closed_end, _ = stack.pop()
+                emit(closed_end, stack[-1][1] if stack else NO_ROUTE)
+            emit(start, row)
+            stack.append((end, row))
+        while stack:
+            closed_end, _ = stack.pop()
+            emit(closed_end, stack[-1][1] if stack else NO_ROUTE)
+
+        return (np.array(bounds, dtype=np.int64),
+                np.array(owners, dtype=np.int64))
+
+    def lookup(self, addresses: np.ndarray) -> np.ndarray:
+        """Longest-prefix match a batch of integer addresses.
+
+        Returns an int64 array of rows into :attr:`prefixes`, with
+        :data:`NO_ROUTE` where no prefix covers the address.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        segments = np.searchsorted(self._bounds, addresses, side="right") - 1
+        return self._owners[segments]
+
+    def lookup_one(self, address: int) -> Prefix | None:
+        """Scalar convenience mirroring :meth:`RoutingTable.resolve_prefix`."""
+        row = int(self.lookup(np.array([address]))[0])
+        return None if row == NO_ROUTE else self.prefixes[row]
+
+
+class FixedLengthResolver:
+    """Map addresses to fixed-length covering prefixes, no RIB needed.
+
+    This is the "/L granularity" fallback for captures without routing
+    data: every destination belongs to the /``length`` prefix containing
+    it, and the flow population is discovered from the traffic itself.
+    Rows are assigned in order of first appearance, so the mapping is
+    dynamic — exactly what the streaming aggregator expects.
+    """
+
+    def __init__(self, length: int) -> None:
+        if not 0 <= length <= 32:
+            raise RoutingError(f"prefix length {length} out of range 0..32")
+        self.length = length
+        self._shift = 32 - length
+        self._rows: dict[int, int] = {}
+        self.prefixes: list[Prefix] = []
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    def lookup(self, addresses: np.ndarray) -> np.ndarray:
+        """Resolve a batch of addresses, growing the population as needed."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        networks = (addresses >> self._shift) << self._shift
+        unique = np.unique(networks)
+        for network in unique.tolist():
+            if network not in self._rows:
+                self._rows[network] = len(self.prefixes)
+                self.prefixes.append(Prefix(int(network), self.length))
+        # gather through the (few) unique networks, not per address
+        table = np.array([self._rows[n] for n in unique.tolist()],
+                         dtype=np.int64)
+        return table[np.searchsorted(unique, networks)]

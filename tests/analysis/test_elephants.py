@@ -5,10 +5,12 @@ import pytest
 
 from repro.analysis.elephants import (
     ElephantSeries,
+    ElephantSeriesBuilder,
     working_hours_lift,
     working_hours_mask,
 )
 from repro.core.engine import Feature, Scheme
+from repro.errors import ClassificationError
 
 
 class TestElephantSeries:
@@ -50,6 +52,43 @@ class TestElephantSeries:
         assert series.burstiness() == 0.0
         assert series.fraction_stability() == 0.0
         assert series.count_variability() == 0.0
+
+
+class TestElephantSeriesBuilder:
+    def test_incremental_equals_from_result(self, small_grid):
+        result = small_grid[(Scheme.CONSTANT_LOAD, Feature.LATENT_HEAT)]
+        batch = ElephantSeries.from_result(result)
+        builder = ElephantSeriesBuilder(
+            label=result.label,
+            slot_seconds=result.matrix.axis.slot_seconds,
+        )
+        for slot in range(result.matrix.num_slots):
+            builder.add_slot(result.matrix.rates[:, slot],
+                             result.elephant_mask[:, slot])
+        series = builder.build()
+        assert series.label == batch.label
+        assert np.array_equal(series.counts, batch.counts)
+        assert np.allclose(series.traffic_fraction, batch.traffic_fraction)
+        assert np.allclose(series.hours, batch.hours)
+
+    def test_zero_traffic_slot_fraction(self):
+        builder = ElephantSeriesBuilder(label="x", slot_seconds=300.0)
+        builder.add_slot(np.zeros(3), np.zeros(3, dtype=bool))
+        builder.add_slot(np.array([1.0, 3.0, 0.0]),
+                         np.array([False, True, False]))
+        series = builder.build()
+        assert series.traffic_fraction[0] == 0.0
+        assert series.traffic_fraction[1] == pytest.approx(0.75)
+        assert builder.slots_seen == 2
+
+    def test_shape_mismatch_rejected(self):
+        builder = ElephantSeriesBuilder(label="x", slot_seconds=300.0)
+        with pytest.raises(ClassificationError):
+            builder.add_slot(np.zeros(3), np.zeros(4, dtype=bool))
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ClassificationError):
+            ElephantSeriesBuilder(label="x", slot_seconds=300.0).build()
 
 
 class TestWorkingHours:

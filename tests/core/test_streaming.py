@@ -88,6 +88,53 @@ class TestVerdict:
         verdict = online.observe_slot(small_matrix.slot_rates(0))
         assert verdict.latent_heat is None
 
+    def test_grow_preserves_existing_state(self):
+        """Heat of pre-existing rows is untouched by growth."""
+
+        class Fixed:
+            name = "fixed"
+
+            def detect(self, rates):
+                return 10.0
+
+        online = OnlineClassifier(Fixed(), num_flows=2, window=3)
+        online.observe_slot(np.array([20.0, 5.0]))
+        before = online.observe_slot(np.array([20.0, 5.0]))
+        online.grow(4)
+        after = online.observe_slot(np.array([20.0, 5.0, 0.0, 0.0]))
+        assert online.num_flows == 4
+        assert after.latent_heat[0] == pytest.approx(
+            before.latent_heat[0] + 10.0)
+        assert after.elephant_mask[:2].tolist() == [True, False]
+
+    def test_grow_backfills_zero_rate_history(self):
+        """A grown row equals a row that was all-zero from slot 0."""
+
+        class Fixed:
+            name = "fixed"
+
+            def detect(self, rates):
+                return 10.0
+
+        grown = OnlineClassifier(Fixed(), num_flows=1, window=3)
+        virgin = OnlineClassifier(Fixed(), num_flows=2, window=3)
+        for rate in (20.0, 30.0):
+            grown.observe_slot(np.array([rate]))
+            virgin.observe_slot(np.array([rate, 0.0]))
+        grown.grow(2)
+        for rate in (25.0, 15.0):
+            a = grown.observe_slot(np.array([rate, 0.0]))
+            b = virgin.observe_slot(np.array([rate, 0.0]))
+            assert np.allclose(a.latent_heat, b.latent_heat)
+            assert np.array_equal(a.elephant_mask, b.elephant_mask)
+
+    def test_grow_noop_and_shrink_rejected(self):
+        online = OnlineClassifier(ConstantLoadThreshold(0.8), num_flows=3)
+        online.grow(3)
+        assert online.num_flows == 3
+        with pytest.raises(ClassificationError):
+            online.grow(2)
+
     def test_ring_buffer_wraps_correctly(self):
         """Heat over a window of 3 with a deterministic threshold."""
 

@@ -135,6 +135,29 @@ class TestCsvInterop:
         assert loaded.axis.num_slots == matrix.axis.num_slots
         assert np.allclose(loaded.rates, matrix.rates, rtol=1e-5)
 
+    def test_csv_roundtrip_preserves_sub_millisecond_axis(self, tmp_path):
+        """Full-precision header timestamps: a 0.5 ms slot length must
+        survive the round trip (the old ``.3f`` header rounded it to a
+        wrong inferred axis)."""
+        matrix = make_matrix([[1.0, 2.0, 3.0]], slot_seconds=0.0005)
+        path = str(tmp_path / "fine.csv")
+        matrix.save_csv(path)
+        loaded = RateMatrix.load_csv(path)
+        assert loaded.axis.slot_seconds == matrix.axis.slot_seconds
+        assert loaded.axis.start == matrix.axis.start
+        assert np.allclose(loaded.rates, matrix.rates, rtol=1e-5)
+
+    def test_csv_roundtrip_preserves_fractional_start(self, tmp_path):
+        matrix = RateMatrix(
+            [Prefix.from_host(0, 24)],
+            TimeAxis(1234.56789, 60.0, 2),
+            np.array([[5.0, 6.0]]),
+        )
+        path = str(tmp_path / "start.csv")
+        matrix.save_csv(path)
+        loaded = RateMatrix.load_csv(path)
+        assert loaded.axis.start == matrix.axis.start
+
     def test_csv_header_validated(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("nope,1,2\n")

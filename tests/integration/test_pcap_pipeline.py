@@ -67,3 +67,38 @@ class TestPcapPipeline:
                           * original.axis.slot_seconds / 8.0)
         assert stats.bytes_matched <= original_bytes
         assert stats.bytes_matched >= 0.9 * original_bytes
+
+
+class TestVectorizedEquivalence:
+    """The vectorized scan must recover exactly what the packet loop does."""
+
+    @pytest.fixture(scope="class")
+    def both_paths(self, tmp_path_factory):
+        rng = np.random.default_rng(99)
+        prefixes = [Prefix.parse(f"10.{i}.0.0/16") for i in range(8)]
+        routes = [
+            Route(prefix, AsPath((65000 + i,)),
+                  AutonomousSystem(65000 + i, AsTier.STUB))
+            for i, prefix in enumerate(prefixes)
+        ]
+        table = RoutingTable(routes)
+        axis = TimeAxis(0.0, 60.0, 4)
+        rates = rng.uniform(0.0, 3e5, size=(8, 4))
+        matrix = RateMatrix(prefixes, axis, rates)
+        path = str(tmp_path_factory.mktemp("vec") / "link.pcap")
+        write_pcap(matrix, path, PacketizerConfig(seed=6))
+        per_packet = aggregate_pcap(path, table, axis, vectorized=False)
+        vectorized = aggregate_pcap(path, table, axis, vectorized=True)
+        chunked = aggregate_pcap(path, table, axis, vectorized=True,
+                                 chunk_packets=1000)
+        return per_packet, vectorized, chunked
+
+    def test_matrices_identical(self, both_paths):
+        (slow, _), (fast, _), (chunked, _) = both_paths
+        assert slow.prefixes == fast.prefixes == chunked.prefixes
+        assert np.allclose(slow.rates, fast.rates)
+        assert np.array_equal(fast.rates, chunked.rates)
+
+    def test_stats_identical(self, both_paths):
+        (_, slow), (_, fast), (_, chunked) = both_paths
+        assert slow == fast == chunked

@@ -1,0 +1,187 @@
+"""Tests for packet and slot sources."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClassificationError, PcapFormatError
+from repro.flows.matrix import RateMatrix
+from repro.flows.records import TimeAxis
+from repro.net import ipv4
+from repro.net.prefix import Prefix
+from repro.pcap.packet import (
+    build_frame,
+    build_udp_packet,
+    summarize_record,
+)
+from repro.pcap.pcapfile import (
+    LINKTYPE_RAW_IP,
+    CaptureRecord,
+    PcapReader,
+    PcapWriter,
+)
+from repro.pipeline.sources import (
+    CsvPacketSource,
+    MatrixSlotSource,
+    PcapPacketSource,
+    ScenarioSlotSource,
+)
+
+
+def udp_record(timestamp, destination, payload=100):
+    packet = build_udp_packet(
+        ipv4.parse_ipv4("198.51.100.1"), ipv4.parse_ipv4(destination),
+        4000, 80, b"\x00" * payload,
+    )
+    return CaptureRecord(timestamp=timestamp, data=build_frame(packet))
+
+
+@pytest.fixture()
+def capture(tmp_path):
+    """A small capture plus its per-packet reference summaries."""
+    records = [
+        udp_record(float(i) * 0.5, f"10.{i % 7}.0.{i % 250}",
+                   payload=50 + i % 400)
+        for i in range(500)
+    ]
+    path = str(tmp_path / "small.pcap")
+    with PcapWriter.open(path) as writer:
+        writer.write_all(records)
+    with PcapReader.open(path) as reader:
+        summaries = [summarize_record(r, reader.linktype) for r in reader]
+    return path, summaries
+
+
+class TestPcapPacketSource:
+    def test_matches_per_packet_summaries(self, capture):
+        path, summaries = capture
+        batches = list(PcapPacketSource(path).batches())
+        assert sum(b.num_packets for b in batches) == len(summaries)
+        scanned = [s for b in batches for s in b.summaries()]
+        assert scanned == summaries
+
+    def test_chunking_preserves_content_and_order(self, capture):
+        path, summaries = capture
+        batches = list(PcapPacketSource(path, chunk_packets=7).batches())
+        assert all(b.num_packets <= 7 for b in batches)
+        assert len(batches) >= len(summaries) // 7
+        scanned = [s for b in batches for s in b.summaries()]
+        assert scanned == summaries
+
+    def test_truncated_capture_wire_bytes(self, tmp_path):
+        record = udp_record(1.0, "10.0.0.1", payload=900)
+        path = str(tmp_path / "snap.pcap")
+        with PcapWriter.open(path, snaplen=100) as writer:
+            writer.write(record)
+        (batch,) = PcapPacketSource(path).batches()
+        assert batch.num_packets == 1
+        assert int(batch.wire_bytes[0]) == len(record.data)
+
+    def test_raw_ip_linktype(self, tmp_path):
+        packet = build_udp_packet(
+            ipv4.parse_ipv4("198.51.100.1"), ipv4.parse_ipv4("10.0.0.9"),
+            4000, 80, b"\x00" * 64,
+        )
+        path = str(tmp_path / "raw.pcap")
+        with PcapWriter.open(path, linktype=LINKTYPE_RAW_IP) as writer:
+            writer.write(CaptureRecord(timestamp=2.0,
+                                       data=packet.encode()))
+        (batch,) = PcapPacketSource(path).batches()
+        assert batch.num_packets == 1
+        assert int(batch.destinations[0]) == ipv4.parse_ipv4("10.0.0.9")
+        assert int(batch.wire_bytes[0]) == packet.total_length
+
+    def test_non_ipv4_frames_counted_not_raised(self, tmp_path):
+        arp = b"\x00" * 6 + b"\x01" * 6 + b"\x08\x06" + b"\x00" * 28
+        path = str(tmp_path / "mixed.pcap")
+        with PcapWriter.open(path) as writer:
+            writer.write(CaptureRecord(timestamp=0.0, data=arp))
+            writer.write(udp_record(1.0, "10.0.0.1"))
+        (batch,) = PcapPacketSource(path).batches()
+        assert batch.packets_seen == 2
+        assert batch.num_packets == 1
+        assert batch.packets_skipped == 1
+
+    def test_truncated_file_raises(self, tmp_path):
+        source_path = str(tmp_path / "whole.pcap")
+        with PcapWriter.open(source_path) as writer:
+            writer.write(udp_record(0.0, "10.0.0.1", payload=500))
+        data = open(source_path, "rb").read()
+        clipped = str(tmp_path / "clipped.pcap")
+        with open(clipped, "wb") as stream:
+            stream.write(data[:-20])
+        with pytest.raises(PcapFormatError):
+            list(PcapPacketSource(clipped).batches())
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ClassificationError):
+            PcapPacketSource("x.pcap", chunk_packets=0)
+
+    def test_corrupt_record_length_fails_fast(self, tmp_path):
+        """A bogus incl_len must raise at that record, not buffer the
+        rest of the file hunting for its end."""
+        good = udp_record(0.0, "10.0.0.1")
+        path = str(tmp_path / "corrupt.pcap")
+        with PcapWriter.open(path) as writer:
+            writer.write(good)
+            writer.write(good)
+        data = bytearray(open(path, "rb").read())
+        # second record's header sits right after the first record
+        offset = 24 + 16 + len(good.data)
+        data[offset + 8:offset + 12] = (0xFFFFFFF0).to_bytes(4, "little")
+        with open(path, "wb") as stream:
+            stream.write(data)
+        with pytest.raises(PcapFormatError, match="above snaplen"):
+            list(PcapPacketSource(path).batches())
+
+
+class TestCsvPacketSource:
+    def test_reads_rows_in_chunks(self, tmp_path):
+        path = str(tmp_path / "flows.csv")
+        with open(path, "w") as stream:
+            stream.write("timestamp,destination,wire_bytes\n")
+            for i in range(10):
+                stream.write(f"{i}.5,10.0.0.{i},{100 + i}\n")
+        batches = list(CsvPacketSource(path, chunk_packets=4).batches())
+        assert [b.num_packets for b in batches] == [4, 4, 2]
+        first = batches[0]
+        assert first.timestamps[0] == pytest.approx(0.5)
+        assert int(first.destinations[1]) == ipv4.parse_ipv4("10.0.0.1")
+        assert int(first.wire_bytes[2]) == 102
+
+    def test_integer_destinations_accepted(self, tmp_path):
+        path = str(tmp_path / "flows.csv")
+        with open(path, "w") as stream:
+            stream.write(f"0.0,{ipv4.parse_ipv4('10.1.0.0')},64\n")
+        (batch,) = CsvPacketSource(path).batches()
+        assert int(batch.destinations[0]) == ipv4.parse_ipv4("10.1.0.0")
+
+    def test_short_row_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.csv")
+        with open(path, "w") as stream:
+            stream.write("1.0,10.0.0.1\n")
+        with pytest.raises(ClassificationError):
+            list(CsvPacketSource(path).batches())
+
+
+class TestSlotSources:
+    def test_matrix_slot_source_replays_columns(self):
+        prefixes = [Prefix.parse("10.0.0.0/8"), Prefix.parse("20.0.0.0/8")]
+        axis = TimeAxis(100.0, 60.0, 3)
+        rates = np.arange(6, dtype=float).reshape(2, 3)
+        matrix = RateMatrix(prefixes, axis, rates)
+        frames = list(MatrixSlotSource(matrix).slots())
+        assert [f.slot for f in frames] == [0, 1, 2]
+        assert frames[1].start == pytest.approx(160.0)
+        assert np.array_equal(frames[2].rates, rates[:, 2])
+        assert frames[0].population is matrix.prefixes
+        assert frames[0].num_flows == 2
+
+    def test_scenario_slot_source(self):
+        source = ScenarioSlotSource("west", scale=0.05, seed=11)
+        frames = list(source.slots())
+        assert len(frames) == source.matrix.num_slots
+        assert source.slot_seconds == source.matrix.axis.slot_seconds
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ClassificationError):
+            ScenarioSlotSource("gulf-coast")

@@ -1,10 +1,15 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import main
 from repro.flows.matrix import RateMatrix
+from repro.flows.records import TimeAxis
+from repro.net.prefix import Prefix
+from repro.traffic.packetize import PacketizerConfig, write_pcap
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +64,83 @@ class TestClassify:
                      "--window", "6"]) == 0
         out = capsys.readouterr().out
         assert "aest latent-heat" in out
+
+
+class TestClassifyJson:
+    def test_json_summary(self, matrix_file, capsys):
+        assert main(["classify", matrix_file, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["run"] == "0.8-constant-load latent-heat"
+        assert summary["num_flows"] >= 400
+        assert 0.0 <= summary["mean_traffic_fraction"] <= 1.0
+
+
+@pytest.fixture(scope="module")
+def stream_capture(tmp_path_factory):
+    """A small pcap (plus RIB file and matrix artefacts) for `stream`."""
+    rng = np.random.default_rng(12)
+    prefixes = [Prefix.parse(f"10.{i}.0.0/16") for i in range(6)]
+    rates = rng.uniform(1e5, 5e5, size=(6, 4))
+    matrix = RateMatrix(prefixes, TimeAxis(0.0, 60.0, 4), rates)
+    root = tmp_path_factory.mktemp("stream-cli")
+    pcap_path = str(root / "link.pcap")
+    write_pcap(matrix, pcap_path, PacketizerConfig(seed=3))
+    npz_path = str(root / "matrix.npz")
+    matrix.save_npz(npz_path)
+    csv_path = str(root / "matrix.csv")
+    matrix.save_csv(csv_path)
+    rib_path = str(root / "rib.txt")
+    with open(rib_path, "w") as stream:
+        for prefix in prefixes:
+            stream.write(f"{prefix}\n")
+    return {"pcap": pcap_path, "npz": npz_path, "csv": csv_path,
+            "rib": rib_path, "matrix": matrix}
+
+
+class TestStream:
+    def test_pcap_with_rib(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"],
+                     "--rib", stream_capture["rib"],
+                     "--slot-seconds", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "slot    0" in out
+        assert "stream summary" in out
+        assert "packets_matched" in out
+
+    def test_pcap_fixed_length_granularity(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"], "--quiet",
+                     "--prefix-length", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "num_flows" in out
+
+    def test_pcap_json_summary(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"], "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["num_slots"] == 4
+        assert summary["num_flows"] == 6
+        assert summary["packets_unrouted"] == 0
+        assert summary["packets_matched"] > 0
+
+    def test_npz_replay_matches_pcap_stream(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["npz"], "--json"]) == 0
+        from_npz = json.loads(capsys.readouterr().out)
+        assert main(["stream", stream_capture["pcap"], "--json"]) == 0
+        from_pcap = json.loads(capsys.readouterr().out)
+        assert from_npz["num_slots"] == from_pcap["num_slots"]
+        assert from_npz["mean_elephants_per_slot"] == pytest.approx(
+            from_pcap["mean_elephants_per_slot"], abs=0.5,
+        )
+
+    def test_csv_matrix_replay(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["csv"], "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "stream summary" in out
+
+    def test_single_feature_scheme_options(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["npz"], "--quiet",
+                     "--feature", "single", "--beta", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "0.7-constant-load single-feature" in out
 
 
 class TestFigures:
