@@ -12,20 +12,43 @@ from repro.errors import ClassificationError
 
 @dataclass(frozen=True)
 class ElephantSeries:
-    """The two time series the paper plots per link and scheme."""
+    """The two time series the paper plots per link and scheme.
+
+    ``residual_fraction`` is only present for runs produced through a
+    bounded aggregation backend: the per-slot share of traffic that
+    fell into the sketch's residual ("other traffic") row rather than a
+    tracked flow. Exact runs carry ``None``.
+    """
 
     label: str
     hours: np.ndarray
     counts: np.ndarray
     traffic_fraction: np.ndarray
+    residual_fraction: np.ndarray | None = None
 
     @classmethod
-    def from_result(cls, result: ClassificationResult) -> "ElephantSeries":
+    def from_result(cls, result: ClassificationResult,
+                    residual_row: int | None = None) -> "ElephantSeries":
+        """Build the series from a batch-shaped result.
+
+        For results reassembled from a sketch-backend stream, pass the
+        residual row (row 0 by construction) so the coverage series is
+        populated — a collected result does not record which row was
+        the residual.
+        """
+        residual_fraction = None
+        if residual_row is not None:
+            totals = result.matrix.rates.sum(axis=0)
+            residual_fraction = np.divide(
+                result.matrix.rates[residual_row], totals,
+                out=np.zeros_like(totals), where=totals > 0,
+            )
         return cls(
             label=result.label,
             hours=result.matrix.axis.hours_since_start(),
             counts=result.elephants_per_slot().astype(float),
             traffic_fraction=result.traffic_fraction_per_slot(),
+            residual_fraction=residual_fraction,
         )
 
     @property
@@ -37,6 +60,13 @@ class ElephantSeries:
     def mean_fraction(self) -> float:
         """Average fraction of traffic apportioned to elephants."""
         return float(self.traffic_fraction.mean())
+
+    @property
+    def mean_residual_fraction(self) -> float:
+        """Average share of traffic left untracked (0.0 for exact runs)."""
+        if self.residual_fraction is None:
+            return 0.0
+        return float(self.residual_fraction.mean())
 
     def burstiness(self) -> float:
         """Peak-to-mean ratio of the count series.
@@ -83,9 +113,18 @@ class ElephantSeriesBuilder:
     slot_seconds: float
     _counts: list[int] = field(default_factory=list)
     _fractions: list[float] = field(default_factory=list)
+    _residuals: list[float] = field(default_factory=list)
+    _saw_residual: bool = False
 
-    def add_slot(self, rates: np.ndarray, elephant_mask: np.ndarray) -> None:
-        """Account one classified slot (call in slot order)."""
+    def add_slot(self, rates: np.ndarray, elephant_mask: np.ndarray,
+                 residual_row: int | None = None) -> None:
+        """Account one classified slot (call in slot order).
+
+        ``residual_row`` marks the untracked-traffic row of a bounded
+        backend's frame: its bandwidth stays in the totals (it is real
+        link traffic) but is recorded separately so coverage is
+        observable.
+        """
         if rates.shape != elephant_mask.shape:
             raise ClassificationError(
                 f"rates shape {rates.shape} != mask shape "
@@ -97,6 +136,12 @@ class ElephantSeriesBuilder:
         self._fractions.append(
             elephant_traffic / total if total > 0 else 0.0
         )
+        residual = 0.0
+        if residual_row is not None and residual_row < rates.size:
+            self._saw_residual = True
+            residual = (float(rates[residual_row]) / total
+                        if total > 0 else 0.0)
+        self._residuals.append(residual)
 
     @property
     def slots_seen(self) -> int:
@@ -113,6 +158,8 @@ class ElephantSeriesBuilder:
             hours=hours,
             counts=np.array(self._counts, dtype=float),
             traffic_fraction=np.array(self._fractions),
+            residual_fraction=(np.array(self._residuals)
+                               if self._saw_residual else None),
         )
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import zipfile
 from typing import Sequence
 
 from repro.analysis.elephants import ElephantSeries
@@ -41,6 +42,13 @@ from repro.net.prefix import Prefix
 from repro.pipeline.aggregator import (
     AggregatingSlotSource,
     StreamingAggregator,
+)
+from repro.pipeline.backends import (
+    BACKEND_NAMES,
+    AggregationBackend,
+    capacity_for_budget,
+    make_backend,
+    parse_memory_budget,
 )
 from repro.pipeline.engine import StreamingPipeline
 from repro.pipeline.sources import (
@@ -94,6 +102,15 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--prefix-length", type=int, default=16,
                         help="fixed-length flow granularity when no "
                              "--rib is given")
+    stream.add_argument("--backend", choices=BACKEND_NAMES,
+                        default="exact",
+                        help="aggregation backend: exact tracks every "
+                             "flow; sketch backends bound tracked state")
+    stream.add_argument("--capacity", type=int, default=None,
+                        help="tracked-flow table size for sketch backends")
+    stream.add_argument("--memory-budget", metavar="BYTES", default=None,
+                        help="size the sketch capacity from a byte budget "
+                             "(suffixes k/m/g), instead of --capacity")
     stream.add_argument("--quiet", action="store_true",
                         help="suppress the per-slot monitor lines")
     stream.add_argument("--json", action="store_true",
@@ -140,7 +157,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    matrix = RateMatrix.load_npz(args.matrix)
+    matrix = _load_matrix(args.matrix)
     scheme, feature = _scheme_and_feature(args)
     engine = ClassificationEngine(matrix, EngineConfig(
         alpha=args.alpha, beta=args.beta, window=args.window,
@@ -177,9 +194,17 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_text(path: str, what: str):
+    """Open a text input, folding I/O failures into ReproError."""
+    try:
+        return open(path)
+    except OSError as exc:
+        raise ReproError(f"cannot read {what} {path!r}: {exc}") from exc
+
+
 def _load_rib_prefixes(path: str) -> CompiledLpm:
     prefixes = []
-    with open(path) as stream:
+    with _open_text(path, "RIB file") as stream:
         for line in stream:
             line = line.split("#", 1)[0].strip()
             if line:
@@ -189,37 +214,89 @@ def _load_rib_prefixes(path: str) -> CompiledLpm:
     return CompiledLpm(prefixes)
 
 
-def _stream_source(args: argparse.Namespace
+def _backend_from_args(args: argparse.Namespace
+                       ) -> AggregationBackend | None:
+    """Build the aggregation backend the stream flags describe.
+
+    Returns ``None`` for the default exact backend so callers can keep
+    the aggregator's historical construction path.
+    """
+    capacity = args.capacity
+    if args.memory_budget is not None:
+        if capacity is not None:
+            raise ReproError(
+                "--capacity and --memory-budget are alternatives; "
+                "give one"
+            )
+        budget = parse_memory_budget(args.memory_budget)
+        capacity = capacity_for_budget(args.backend, budget)
+    if args.backend == "exact" and capacity is None:
+        return None
+    # validation (exact rejects capacity, capacity >= 1, ...) lives in
+    # make_backend so the CLI and library fail identically
+    return make_backend(args.backend, capacity=capacity)
+
+
+def _load_matrix(path: str) -> RateMatrix:
+    """Load a matrix artefact, folding load failures into ReproError."""
+    try:
+        if path.endswith(".npz"):
+            return RateMatrix.load_npz(path)
+        return RateMatrix.load_csv(path)
+    except ReproError:
+        raise
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise ReproError(f"cannot load matrix {path!r}: {exc}") from exc
+
+
+def _stream_source(args: argparse.Namespace,
+                   backend: AggregationBackend | None,
                    ) -> tuple[SlotSource, StreamingAggregator | None]:
-    """Build the slot source (and aggregator, for packet inputs)."""
+    """Build the slot source (and aggregator, for packet inputs).
+
+    For packet inputs the backend bounds the aggregator's flow table;
+    for matrix replays the caller interposes it at the slot level.
+    """
     path = args.input
     if path.endswith(".npz"):
-        return MatrixSlotSource(RateMatrix.load_npz(path)), None
+        return MatrixSlotSource(_load_matrix(path)), None
     if path.endswith(".csv"):
-        with open(path) as stream:
+        with _open_text(path, "capture") as stream:
             header = stream.readline()
         if header.startswith("prefix"):
-            return MatrixSlotSource(RateMatrix.load_csv(path)), None
+            return MatrixSlotSource(_load_matrix(path)), None
         packets = CsvPacketSource(path)
     else:
+        # fail on an unreadable capture here, not mid-stream
+        try:
+            with open(path, "rb"):
+                pass
+        except OSError as exc:
+            raise ReproError(
+                f"cannot read capture {path!r}: {exc}"
+            ) from exc
         packets = PcapPacketSource(path)
     if args.rib:
         resolver = _load_rib_prefixes(args.rib)
     else:
         resolver = FixedLengthResolver(args.prefix_length)
     aggregator = StreamingAggregator(resolver,
-                                     slot_seconds=args.slot_seconds)
+                                     slot_seconds=args.slot_seconds,
+                                     backend=backend)
     return AggregatingSlotSource(packets, aggregator), aggregator
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     scheme, feature = _scheme_and_feature(args)
-    source, aggregator = _stream_source(args)
+    backend = _backend_from_args(args)
+    source, aggregator = _stream_source(args, backend)
     pipeline = StreamingPipeline(source, scheme=scheme, feature=feature,
                                  config=EngineConfig(
                                      alpha=args.alpha, beta=args.beta,
                                      window=args.window,
-                                 ))
+                                 ),
+                                 backend=(backend if aggregator is None
+                                          else None))
     slots = 0
     for event in pipeline.events():
         slots += 1
@@ -243,13 +320,24 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     series = pipeline.series()
     num_flows = (pipeline.classifier.num_flows
                  if pipeline.classifier is not None else 0)
+    if backend is not None and num_flows > 0:
+        num_flows -= 1  # the residual accounting row is not a flow
     summary: dict[str, object] = {
         "run": pipeline.label,
+        "backend": args.backend,
         "num_slots": slots,
         "num_flows": num_flows,
         "mean_elephants_per_slot": series.mean_count,
         "mean_traffic_fraction": series.mean_fraction,
     }
+    if backend is not None:
+        summary.update({
+            "capacity": backend.capacity,
+            "tracked_flows": backend.tracked_flows,
+            "peak_tracked_flows": backend.peak_tracked,
+            "population_rows": backend.num_rows,
+            "mean_residual_fraction": series.mean_residual_fraction,
+        })
     if aggregator is not None:
         summary.update({
             "packets_seen": aggregator.stats.packets_seen,
@@ -277,7 +365,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Domain failures (unreadable inputs, bad backend parameters, ...)
+    print one ``error:`` line to stderr and exit 2 — a monitor wrapper
+    should never see a traceback for a malformed capture.
+    """
     args = _build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,
@@ -285,7 +378,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stream": _cmd_stream,
         "figures": _cmd_figures,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

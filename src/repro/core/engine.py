@@ -99,8 +99,8 @@ class ClassificationEngine:
                 results[result.label] = result
         return results
 
-    def run_streaming(self, scheme: Scheme,
-                      feature: Feature) -> ClassificationResult:
+    def run_streaming(self, scheme: Scheme, feature: Feature,
+                      backend=None) -> ClassificationResult:
         """Classify through the streaming pipeline instead of in batch.
 
         The matrix replays column by column through the online
@@ -108,11 +108,18 @@ class ClassificationEngine:
         (asserted in the test suite). This is the batch-as-a-wrapper
         entry point — useful when validating streaming deployments
         against recorded matrices.
+
+        ``backend`` (an
+        :class:`~repro.pipeline.backends.AggregationBackend`) replays
+        the matrix under that backend's memory bound instead: the
+        result covers the tracked population plus a residual row, so it
+        approximates :meth:`run` with O(capacity) flow state.
         """
         # Imported here: repro.pipeline sits above the core layer.
         from repro.pipeline.engine import classify_matrix_streaming
         return classify_matrix_streaming(
             self.matrix, scheme=scheme, feature=feature, config=self.config,
+            backend=backend,
         )
 
     def run_paper_grid(self) -> dict[str, ClassificationResult]:

@@ -58,6 +58,11 @@ class ThresholdTracker:
         """How many slots needed the fallback detector / history."""
         return len(self.fallback_slots)
 
+    @property
+    def has_history(self) -> bool:
+        """Whether any slot has produced a raw detection yet."""
+        return self._last_raw is not None
+
     def observe(self, rates: np.ndarray) -> SlotThreshold:
         """Process one slot's rates; returns its thresholds.
 

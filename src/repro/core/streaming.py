@@ -110,14 +110,47 @@ class OnlineClassifier:
         ])
         self.num_flows = num_flows
 
-    def observe_slot(self, rates: np.ndarray) -> SlotVerdict:
-        """Consume one slot's flow bandwidths and classify it."""
+    def observe_slot(self, rates: np.ndarray,
+                     exclude_rows: np.ndarray | None = None) -> SlotVerdict:
+        """Consume one slot's flow bandwidths and classify it.
+
+        ``exclude_rows`` names rows that are *accounting artifacts*
+        rather than flows — for instance the residual row a bounded
+        aggregation backend emits for untracked traffic. Excluded rows
+        are withheld from threshold detection (their bandwidth is not a
+        single flow's, so letting it anchor the elephant threshold
+        would distort the cut) and are never classified as elephants.
+        Their per-row state evolves as an all-zero flow, which keeps
+        row identities aligned with the frame population.
+        """
         rates = np.asarray(rates, dtype=float)
         if rates.shape != (self.num_flows,):
             raise ClassificationError(
                 f"expected {self.num_flows} rates, got shape {rates.shape}"
             )
-        thresholds = self._tracker.observe(rates)
+        excluded: np.ndarray | None = None
+        unexcluded = rates
+        if exclude_rows is not None:
+            excluded = np.asarray(exclude_rows, dtype=np.int64)
+            excluded = excluded[(excluded >= 0)
+                                & (excluded < self.num_flows)]
+            if excluded.size:
+                rates = rates.copy()
+                rates[excluded] = 0.0
+        if (excluded is not None and excluded.size and not rates.any()
+                and not self._tracker.has_history):
+            # The exclusion zeroed the whole slot (a sketch frame whose
+            # traffic is all residual) before any detection history
+            # exists. Bootstrap the threshold from the *unexcluded*
+            # rates: the residual is real link traffic, so detection
+            # succeeds with a positive threshold (keeping the series
+            # invariant raw > 0) and no row can clear it — zero
+            # elephants, and the EWMA starts from link level. A slot
+            # that arrives genuinely empty still raises from the
+            # detector, exactly like the batch engine.
+            thresholds = self._tracker.observe(unexcluded)
+        else:
+            thresholds = self._tracker.observe(rates)
         self._smoothed_ring[self._slot % self.window] = thresholds.smoothed
         deviations = rates - thresholds.smoothed
 
@@ -130,6 +163,9 @@ class OnlineClassifier:
         else:
             mask = rates > thresholds.smoothed
             heat = None
+
+        if excluded is not None and excluded.size:
+            mask[excluded] = False
 
         verdict = SlotVerdict(
             slot=self._slot,

@@ -14,6 +14,21 @@ from repro.pipeline.aggregator import (
     PrefixResolver,
     StreamingAggregator,
 )
+from repro.pipeline.backends import (
+    BACKEND_NAMES,
+    RESIDUAL_PREFIX,
+    AggregationBackend,
+    CountMinAggregation,
+    ExactAggregation,
+    MisraGriesAggregation,
+    SampleHoldAggregation,
+    SketchAggregation,
+    SketchSlotSource,
+    SpaceSavingAggregation,
+    capacity_for_budget,
+    make_backend,
+    parse_memory_budget,
+)
 from repro.pipeline.engine import (
     StreamCollector,
     StreamEvent,
@@ -34,7 +49,20 @@ from repro.pipeline.sources import (
 
 __all__ = [
     "AggregatingSlotSource",
+    "AggregationBackend",
+    "BACKEND_NAMES",
+    "CountMinAggregation",
     "CsvPacketSource",
+    "ExactAggregation",
+    "MisraGriesAggregation",
+    "RESIDUAL_PREFIX",
+    "SampleHoldAggregation",
+    "SketchAggregation",
+    "SketchSlotSource",
+    "SpaceSavingAggregation",
+    "capacity_for_budget",
+    "make_backend",
+    "parse_memory_budget",
     "MatrixSlotSource",
     "PacketBatch",
     "PacketSource",

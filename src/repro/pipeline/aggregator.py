@@ -10,16 +10,21 @@ needs no time axis up front and no fixed flow population:
 - the axis grows forward from the first packet's slot (aligned to the
   ``slot_seconds`` grid), one slot at a time, for as long as the
   capture runs;
-- flows are discovered from the traffic. A prefix gets the next free
-  row the first time it carries bytes and keeps that row forever — the
-  positional identity the classifiers depend on. Earlier frames simply
-  have fewer rows.
+- flows are discovered from the traffic, through a pluggable
+  :class:`~repro.pipeline.backends.AggregationBackend`. The default
+  exact backend gives every prefix its own permanent row the first
+  time it carries bytes; sketch backends bound the tracked table at a
+  fixed capacity and conserve untracked bytes in a residual row.
 
-State is one open slot's byte vector plus per-flow accounting —
-O(flows), independent of capture length. Packets must arrive in
-non-decreasing slot order (pcap files are chronological); a packet for
-an already-emitted slot is counted in ``stats.packets_outside_axis``
-and dropped, which is what a one-pass monitor has to do.
+State is one open slot's accounting plus the backend's flow table —
+O(flows) for exact, O(capacity) *tracked* state for sketches. Sketch
+rows are permanent once earned, so the emitted population still grows
+with candidate churn across slot boundaries (row compaction is a
+ROADMAP item); the bounded part is the sketch and the per-slot
+candidate table. Packets must arrive in non-decreasing slot order
+(pcap files are chronological); a packet for an already-emitted slot is
+counted in ``stats.packets_outside_axis`` and dropped, which is what a
+one-pass monitor has to do.
 """
 
 from __future__ import annotations
@@ -35,9 +40,13 @@ from repro.flows.records import (
     DEFAULT_SLOT_SECONDS,
     FlowRecord,
     TimeAxis,
-    grouped_packet_stats,
 )
 from repro.net.prefix import Prefix
+from repro.pipeline.backends import (
+    AggregationBackend,
+    ExactAggregation,
+    make_backend,
+)
 from repro.pipeline.sources import PacketBatch, PacketSource, SlotFrame
 from repro.routing.lpm import NO_ROUTE, CompiledLpm
 from repro.routing.rib import RoutingTable
@@ -62,33 +71,44 @@ class StreamingAggregator:
     :class:`~repro.routing.rib.RoutingTable` (compiled on entry).
     ``start`` pins slot 0's timestamp; by default it is the first
     packet's timestamp floored to the ``slot_seconds`` grid.
+    ``backend`` selects the flow-table strategy: an
+    :class:`~repro.pipeline.backends.AggregationBackend` instance, a
+    backend name (with ``capacity`` for the sketch backends), or
+    ``None`` for the exact table.
     """
 
     def __init__(self, resolver: PrefixResolver | RoutingTable,
                  slot_seconds: float = DEFAULT_SLOT_SECONDS,
-                 start: float | None = None) -> None:
+                 start: float | None = None,
+                 backend: AggregationBackend | str | None = None,
+                 capacity: int | None = None) -> None:
         if slot_seconds <= 0:
             raise ClassificationError("slot_seconds must be positive")
         if isinstance(resolver, RoutingTable):
             resolver = CompiledLpm.from_table(resolver)
         self.resolver = resolver
+        if backend is None:
+            backend = ExactAggregation()
+        elif isinstance(backend, str):
+            backend = make_backend(backend, capacity=capacity)
+        self.backend = backend
         self.slot_seconds = float(slot_seconds)
         self.start = start
         self.stats = AggregationStats()
-        #: Discovered flows, in first-traffic order (row order).
-        self.prefixes: list[Prefix] = []
-        self._row_of: dict[int, int] = {}  # resolver row -> stream row
-        self._open: np.ndarray = np.zeros(0)  # open slot's byte counts
         self._open_slot: int | None = None
         self._first_slot: int | None = None  # slot of the first frame
         self._frames_emitted = 0
         self._finished = False
-        self._records: list[FlowRecord] = []
+
+    @property
+    def prefixes(self) -> list[Prefix]:
+        """Emitted population, in row order (the backend's live list)."""
+        return self.backend.prefixes
 
     @property
     def num_flows(self) -> int:
-        """Flows discovered so far."""
-        return len(self.prefixes)
+        """Rows in the emitted population so far."""
+        return len(self.backend.prefixes)
 
     @property
     def slots_emitted(self) -> int:
@@ -110,7 +130,7 @@ class StreamingAggregator:
 
     def flow_records(self) -> list[FlowRecord]:
         """Per-flow accounting records, in row order."""
-        return list(self._records)
+        return self.backend.flow_records()
 
     # ------------------------------------------------------------------
     # ingestion
@@ -152,15 +172,16 @@ class StreamingAggregator:
         self.stats.bytes_matched += int(sizes.sum())
 
         # Group by slot (stable: preserves time order within a slot) and
-        # discover flows per group, so the population a frame carries is
-        # exactly the set of flows seen up to that slot — independent of
-        # how the capture happened to be chunked into batches.
+        # hand each group to the backend, so the population a frame
+        # carries is exactly the set of flows tracked up to that slot —
+        # independent of how the capture was chunked into batches.
         frames: list[SlotFrame] = []
         order = np.argsort(slots, kind="stable")
         slots, sizes, rows, timestamps = (
             slots[order], sizes[order], rows[order], timestamps[order]
         )
         boundaries = np.flatnonzero(np.diff(slots)) + 1
+        prefix_of = self._prefix_of
         for group_slots, group_rows, group_sizes, group_times in zip(
             np.split(slots, boundaries), np.split(rows, boundaries),
             np.split(sizes, boundaries), np.split(timestamps, boundaries),
@@ -170,9 +191,8 @@ class StreamingAggregator:
                 self._open_slot = slot
             while self._open_slot < slot:
                 frames.append(self._emit_open())
-            stream_rows = self._stream_rows(group_rows)
-            self._account_records(stream_rows, group_sizes, group_times)
-            np.add.at(self._open, stream_rows, group_sizes)
+            self.backend.accumulate(group_rows, group_sizes, group_times,
+                                    prefix_of)
         return frames
 
     def finish(self) -> list[SlotFrame]:
@@ -194,44 +214,19 @@ class StreamingAggregator:
     # internals
     # ------------------------------------------------------------------
 
-    def _stream_rows(self, resolver_rows: np.ndarray) -> np.ndarray:
-        """Map resolver rows to stream rows, discovering new flows."""
-        unique = np.unique(resolver_rows)
-        for row in unique.tolist():
-            if row not in self._row_of:
-                self._row_of[row] = len(self.prefixes)
-                prefix = self.resolver.prefixes[row]
-                self.prefixes.append(prefix)
-                self._records.append(FlowRecord(prefix))
-        if self.num_flows > self._open.size:
-            grown = np.zeros(self.num_flows)
-            grown[:self._open.size] = self._open
-            self._open = grown
-        table = np.array([self._row_of[row] for row in unique.tolist()],
-                         dtype=np.int64)
-        return table[np.searchsorted(unique, resolver_rows)]
-
-    def _account_records(self, stream_rows: np.ndarray, sizes: np.ndarray,
-                         timestamps: np.ndarray) -> None:
-        counts, byte_sums, first, last = grouped_packet_stats(
-            stream_rows, sizes, timestamps, self.num_flows,
-        )
-        for row in np.flatnonzero(counts).tolist():
-            self._records[row].add_group(
-                int(counts[row]), int(byte_sums[row]),
-                float(first[row]), float(last[row]),
-            )
+    def _prefix_of(self, row: int) -> Prefix:
+        return self.resolver.prefixes[row]
 
     def _emit_open(self) -> SlotFrame:
         assert self._open_slot is not None and self.start is not None
-        rates = self._open * 8.0 / self.slot_seconds
+        rates = self.backend.close_slot() * 8.0 / self.slot_seconds
         frame = SlotFrame(
             slot=self._open_slot,
             start=self.start + self._open_slot * self.slot_seconds,
             rates=rates,
-            population=self.prefixes,
+            population=self.backend.prefixes,
+            residual_row=self.backend.residual_row,
         )
-        self._open = np.zeros(self.num_flows)
         if self._first_slot is None:
             self._first_slot = self._open_slot
         self._open_slot += 1

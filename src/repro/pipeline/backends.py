@@ -1,0 +1,564 @@
+"""Pluggable aggregation backends: exact and bounded-memory sketches.
+
+The streaming aggregator owes its O(flows) state to one design choice:
+every prefix that ever carries a byte gets a row and a counter. On a
+backbone capture with millions of active prefixes that choice *is* the
+memory bill. This module makes the flow table a strategy object:
+
+- :class:`ExactAggregation` keeps the original semantics — every flow
+  tracked exactly, no residual, state O(distinct flows);
+- the :class:`SketchAggregation` family bounds the candidate table at
+  ``capacity`` entries using a classic heavy-hitter summary
+  (Space-Saving, Misra–Gries, Count-Min + candidate heap,
+  Sample-and-Hold). Bytes of untracked flows are conserved in a
+  dedicated *residual row* (prefix ``0.0.0.0/0``, always row 0), so
+  every emitted slot still sums to the traffic that arrived.
+
+Row semantics under a sketch: a flow earns a stream row the first time
+it is still tracked when a slot closes — surviving one slot boundary is
+the admission test, so mice that bounce in and out of the summary
+within a slot never inflate the population. Once assigned, a row is
+permanent (the positional identity downstream classifiers depend on);
+a flow evicted later keeps its row, its subsequent bytes simply fall
+into the residual until it is re-admitted.
+
+Backends also speak the slot altitude: :class:`SketchSlotSource`
+filters any :class:`~repro.pipeline.sources.SlotSource` (for instance a
+replayed matrix) through a backend, which is how
+``engine.run_streaming`` applies a memory bound to recorded matrices.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import math
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ClassificationError
+from repro.flows.records import FlowRecord, grouped_packet_stats
+from repro.net.prefix import Prefix
+from repro.pipeline.sources import SlotFrame, SlotSource
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.misra_gries import MisraGries
+from repro.sketches.sample_hold import SampleAndHold
+from repro.sketches.space_saving import SpaceSaving
+
+#: The population entry that absorbs untracked ("other") traffic. A
+#: *real* default-route flow (a 0.0.0.0/0 RIB entry, or
+#: ``--prefix-length 0``) is folded into this row rather than given its
+#: own — under a sketch the two are indistinguishable, and populations
+#: must stay duplicate-free.
+RESIDUAL_PREFIX = Prefix(0, 0)
+
+#: Rough per-tracked-entry cost in bytes: sketch dict slot, pending
+#: slot accumulator, row map entry and FlowRecord, amortised.
+TRACKED_ENTRY_BYTES = 320
+#: Extra Count-Min table cells per unit of capacity (width factor x
+#: depth x 8-byte counters).
+_CM_WIDTH_FACTOR = 4
+_CM_DEPTH = 4
+
+PrefixOf = Callable[[int], Prefix]
+
+
+class AggregationBackend(abc.ABC):
+    """Per-slot flow-table strategy behind the streaming aggregator.
+
+    The aggregator feeds each slot's traffic through
+    :meth:`accumulate` (integer flow keys, byte sizes, timestamps and a
+    key → :class:`Prefix` resolver) and calls :meth:`close_slot` at
+    every slot boundary to harvest the byte vector. ``prefixes`` is the
+    live, append-only population — frames share it by reference, so row
+    ``i`` means the same flow in every frame a run emits.
+    """
+
+    #: CLI / report name of the backend.
+    name: str = "backend"
+    #: Row absorbing untracked traffic (``None`` for exact backends).
+    residual_row: int | None = None
+
+    def __init__(self) -> None:
+        self.prefixes: list[Prefix] = []
+        self._records: list[FlowRecord] = []
+        self._row_of: dict[int, int] = {}
+        #: High-water mark of :attr:`tracked_flows` across the run.
+        self.peak_tracked = 0
+        #: Slots this backend has closed (backends are single-use).
+        self.slots_closed = 0
+
+    @property
+    @abc.abstractmethod
+    def tracked_flows(self) -> int:
+        """Flows currently held in bounded state."""
+
+    @abc.abstractmethod
+    def accumulate(self, keys: np.ndarray, sizes: np.ndarray,
+                   timestamps: np.ndarray, prefix_of: PrefixOf) -> None:
+        """Account one group of same-slot packets, keyed by flow."""
+
+    @abc.abstractmethod
+    def close_slot(self) -> np.ndarray:
+        """Byte counts per stream row for the closing slot; resets it."""
+
+    def flow_records(self) -> list[FlowRecord]:
+        """Per-row accounting records (row order, residual included)."""
+        return list(self._records)
+
+    @property
+    def num_rows(self) -> int:
+        """Rows in the emitted population (>= tracked for sketches)."""
+        return len(self.prefixes)
+
+
+class ExactAggregation(AggregationBackend):
+    """The unbounded reference backend: every flow tracked exactly.
+
+    This is the flow table the original ``StreamingAggregator``
+    carried, extracted behind the backend interface: a prefix gets the
+    next free row the first time it carries bytes and keeps it forever.
+    """
+
+    name = "exact"
+    residual_row = None
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._open = np.zeros(0)
+
+    @property
+    def tracked_flows(self) -> int:
+        return len(self.prefixes)
+
+    def accumulate(self, keys: np.ndarray, sizes: np.ndarray,
+                   timestamps: np.ndarray, prefix_of: PrefixOf) -> None:
+        unique, first_index = np.unique(keys, return_index=True)
+        # Rows are assigned in first-traffic order (keys arrive
+        # time-ordered within a slot group), so the numbering does not
+        # depend on how the capture was chunked into batches.
+        for key in unique[np.argsort(first_index)].tolist():
+            if key not in self._row_of:
+                self._row_of[key] = len(self.prefixes)
+                prefix = prefix_of(key)
+                self.prefixes.append(prefix)
+                self._records.append(FlowRecord(prefix))
+        if len(self.prefixes) > self._open.size:
+            grown = np.zeros(len(self.prefixes))
+            grown[:self._open.size] = self._open
+            self._open = grown
+        table = np.array([self._row_of[key] for key in unique.tolist()],
+                         dtype=np.int64)
+        rows = table[np.searchsorted(unique, keys)]
+        np.add.at(self._open, rows, sizes)
+        counts, byte_sums, first, last = grouped_packet_stats(
+            rows, sizes, timestamps, len(self.prefixes),
+        )
+        for row in np.flatnonzero(counts).tolist():
+            self._records[row].add_group(
+                int(counts[row]), int(byte_sums[row]),
+                float(first[row]), float(last[row]),
+            )
+        self.peak_tracked = max(self.peak_tracked, len(self.prefixes))
+
+    def close_slot(self) -> np.ndarray:
+        # accumulate() keeps _open sized to the population, and the
+        # population only grows there, so no resize is needed here
+        closed = self._open
+        self._open = np.zeros(len(self.prefixes))
+        self.slots_closed += 1
+        return closed
+
+
+class _PendingEntry:
+    """Slot-local accumulator for one candidate flow."""
+
+    __slots__ = ("bytes", "packets", "first", "last", "prefix")
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.bytes = 0.0
+        self.packets = 0
+        self.first = math.inf
+        self.last = -math.inf
+        self.prefix = prefix
+
+    def add(self, weight: float, packets: int, first: float,
+            last: float) -> None:
+        self.bytes += weight
+        self.packets += packets
+        self.first = min(self.first, first)
+        self.last = max(self.last, last)
+
+
+class SketchAggregation(AggregationBackend):
+    """Base for bounded backends: sketch + residual-row bookkeeping.
+
+    Subclasses provide the summary itself via :meth:`_offer` (feed one
+    weighted key, report whether it is tracked afterwards) and
+    :meth:`_tracked`. This class owns the slot-local candidate
+    accounting, the prune-on-eviction step that keeps the candidate
+    table at ``capacity``, and the row assignment at slot close.
+    """
+
+    residual_row = 0
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ClassificationError("capacity must be >= 1")
+        super().__init__()
+        self.capacity = capacity
+        self.prefixes = [RESIDUAL_PREFIX]
+        self._records = [FlowRecord(RESIDUAL_PREFIX)]
+        self._pending: dict[int, _PendingEntry] = {}
+        self._residual = _PendingEntry(RESIDUAL_PREFIX)
+
+    @abc.abstractmethod
+    def _offer(self, key: int, weight: float) -> bool:
+        """Feed one weighted key to the sketch; is it tracked now?"""
+
+    @abc.abstractmethod
+    def _tracked(self, key: int) -> bool:
+        """Is ``key`` currently held by the sketch?"""
+
+    def accumulate(self, keys: np.ndarray, sizes: np.ndarray,
+                   timestamps: np.ndarray, prefix_of: PrefixOf) -> None:
+        unique, first_index, inverse = np.unique(
+            keys, return_index=True, return_inverse=True,
+        )
+        packets = np.bincount(inverse)
+        weights = np.bincount(inverse, weights=sizes)
+        first = np.full(unique.size, np.inf)
+        np.minimum.at(first, inverse, timestamps)
+        last = np.full(unique.size, -np.inf)
+        np.maximum.at(last, inverse, timestamps)
+        # Offer keys in first-traffic order: admission/eviction races
+        # then resolve the way a per-packet monitor would, and row
+        # assignment at slot close inherits the same chunk-independent
+        # ordering the exact backend guarantees.
+        for i in np.argsort(first_index).tolist():
+            key = int(unique[i])
+            weight = float(weights[i])
+            group = (weight, int(packets[i]), float(first[i]),
+                     float(last[i]))
+            if self._offer(key, weight):
+                entry = self._pending.get(key)
+                if entry is None:
+                    entry = _PendingEntry(prefix_of(key))
+                    self._pending[key] = entry
+                entry.add(*group)
+            else:
+                self._residual.add(*group)
+        # Candidates evicted by later arrivals in this group fall back
+        # to the residual — this prune is what bounds the slot-local
+        # table at the sketch's capacity.
+        evicted = [key for key in self._pending if not self._tracked(key)]
+        for key in evicted:
+            entry = self._pending.pop(key)
+            self._residual.add(entry.bytes, entry.packets, entry.first,
+                               entry.last)
+        self.peak_tracked = max(self.peak_tracked, self.tracked_flows)
+
+    def close_slot(self) -> np.ndarray:
+        attributed: list[tuple[int, _PendingEntry]] = []
+        for key, entry in self._pending.items():
+            if entry.prefix == RESIDUAL_PREFIX:
+                # A tracked default route is indistinguishable from the
+                # "other traffic" row; fold it in rather than emitting
+                # a duplicate 0.0.0.0/0 population entry.
+                self._residual.add(entry.bytes, entry.packets,
+                                   entry.first, entry.last)
+                continue
+            row = self._row_of.get(key)
+            if row is None:
+                row = len(self.prefixes)
+                self._row_of[key] = row
+                self.prefixes.append(entry.prefix)
+                self._records.append(FlowRecord(entry.prefix))
+            attributed.append((row, entry))
+        vector = np.zeros(len(self.prefixes))
+        for row, entry in attributed:
+            vector[row] += entry.bytes
+            self._records[row].add_group(
+                entry.packets, int(entry.bytes), entry.first, entry.last,
+            )
+        if self._residual.packets or self._residual.bytes:
+            vector[self.residual_row] += self._residual.bytes
+            self._records[self.residual_row].add_group(
+                self._residual.packets, int(self._residual.bytes),
+                self._residual.first, self._residual.last,
+            )
+        self._pending = {}
+        self._residual = _PendingEntry(RESIDUAL_PREFIX)
+        self.slots_closed += 1
+        return vector
+
+
+class SummaryGatedAggregation(SketchAggregation):
+    """Sketches whose summary object *is* the membership test.
+
+    Space-Saving, Misra–Gries and Sample-and-Hold all expose the same
+    shape — ``update(key, weight)``, ``estimate(key)`` (positive iff
+    tracked), ``len()`` — so the offer/tracked logic lives here once;
+    subclasses only construct ``self._sketch``.
+    """
+
+    _sketch: SpaceSaving[int] | MisraGries[int] | SampleAndHold[int]
+
+    @property
+    def tracked_flows(self) -> int:
+        return len(self._sketch)
+
+    def _offer(self, key: int, weight: float) -> bool:
+        self._sketch.update(key, weight)
+        return self._sketch.estimate(key) > 0.0
+
+    def _tracked(self, key: int) -> bool:
+        return self._sketch.estimate(key) > 0.0
+
+
+class SpaceSavingAggregation(SummaryGatedAggregation):
+    """Space-Saving candidate table: overflow evicts the minimum count.
+
+    Every newcomer is admitted (inheriting the victim's count), so the
+    slot-close survival rule does the real gating: a mouse admitted and
+    evicted within one slot never earns a row.
+    """
+
+    name = "space-saving"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._sketch = SpaceSaving(capacity)
+
+
+class MisraGriesAggregation(SummaryGatedAggregation):
+    """Misra–Gries counters: light newcomers decrement, heavy ones stay.
+
+    Deterministic and admission-selective — a flow lighter than the
+    current minimum counter is never tracked at all, so the candidate
+    table churns less than Space-Saving's at equal capacity.
+    """
+
+    name = "misra-gries"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._sketch = MisraGries(capacity)
+
+
+class CountMinAggregation(SketchAggregation):
+    """Count-Min sketch + a ``capacity``-entry candidate heap.
+
+    The sketch carries the frequency estimates; the candidate table
+    admits a key when its estimate beats the current minimum candidate,
+    found through a lazy min-heap (stale entries are discarded on peek,
+    as in :class:`~repro.sketches.space_saving.SpaceSaving`) so each
+    untracked key costs O(log capacity), not a table scan. Hash-based,
+    so unlike the counter summaries it never forgets a flow's history —
+    at the price of one-sided over-estimation.
+    """
+
+    name = "count-min"
+
+    def __init__(self, capacity: int, seed: int = 0,
+                 width: int | None = None,
+                 depth: int = _CM_DEPTH) -> None:
+        super().__init__(capacity)
+        if width is None:
+            width = max(16, _CM_WIDTH_FACTOR * capacity)
+        self._sketch = CountMinSketch(width=width, depth=depth, seed=seed)
+        self._candidates: dict[int, float] = {}
+        self._heap: list[tuple[float, int]] = []
+
+    @property
+    def tracked_flows(self) -> int:
+        return len(self._candidates)
+
+    def _admit(self, key: int, estimate: float) -> None:
+        self._candidates[key] = estimate
+        heapq.heappush(self._heap, (estimate, key))
+        # Stale entries (superseded estimates) accumulate faster than
+        # peeks discard them on a stable candidate set; rebuild once
+        # they dominate so heap memory stays O(capacity), not O(stream).
+        if len(self._heap) > 4 * self.capacity:
+            self._heap = [(value, tracked)
+                          for tracked, value in self._candidates.items()]
+            heapq.heapify(self._heap)
+
+    def _peek_minimum(self) -> tuple[int, float]:
+        """The current smallest candidate, skipping stale heap entries."""
+        while self._heap:
+            estimate, key = self._heap[0]
+            if self._candidates.get(key) == estimate:
+                return key, estimate
+            heapq.heappop(self._heap)
+        # Staleness drained the heap: rebuild from the live table.
+        self._heap = [(value, key)
+                      for key, value in self._candidates.items()]
+        heapq.heapify(self._heap)
+        estimate, key = self._heap[0]
+        return key, estimate
+
+    def _offer(self, key: int, weight: float) -> bool:
+        self._sketch.update(key, weight)
+        estimate = self._sketch.estimate(key)
+        if key in self._candidates:
+            self._admit(key, estimate)
+            return True
+        if len(self._candidates) < self.capacity:
+            self._admit(key, estimate)
+            return True
+        minimum, minimum_estimate = self._peek_minimum()
+        if estimate > minimum_estimate:
+            del self._candidates[minimum]
+            self._admit(key, estimate)
+            return True
+        return False
+
+    def _tracked(self, key: int) -> bool:
+        return key in self._candidates
+
+
+class SampleHoldAggregation(SummaryGatedAggregation):
+    """Sample-and-Hold: byte-sampled admission, exact counting after.
+
+    ``sampling_probability`` is per byte; with the default ``1e-5`` a
+    flow is caught after ~100 kB in expectation. Held flows are never
+    evicted, so the candidate table fills monotonically up to
+    ``capacity``.
+    """
+
+    name = "sample-hold"
+
+    def __init__(self, capacity: int,
+                 sampling_probability: float = 1e-5,
+                 seed: int = 0) -> None:
+        super().__init__(capacity)
+        self._sketch = SampleAndHold(
+            sampling_probability, seed=seed, max_entries=capacity,
+        )
+
+
+class SketchSlotSource:
+    """Filter a slot source through a backend: bounded frames out.
+
+    Adapts the backend to the slot altitude: each incoming frame's
+    per-row byte volumes are offered to the backend keyed by source row
+    (which must be positionally stable, as every repo slot source is),
+    and the re-emitted frame covers the backend's population plus the
+    residual. This is how a recorded matrix replays under a memory
+    bound without touching the packet layer.
+    """
+
+    def __init__(self, source: SlotSource,
+                 backend: AggregationBackend) -> None:
+        self.source = source
+        self.backend = backend
+        self.slot_seconds = source.slot_seconds
+
+    def slots(self) -> Iterator[SlotFrame]:
+        seconds = self.slot_seconds
+        for frame in self.source.slots():
+            volumes = frame.rates * seconds / 8.0
+            active = np.flatnonzero(volumes > 0)
+            population = frame.population
+            if active.size:
+                self.backend.accumulate(
+                    active, volumes[active],
+                    np.full(active.size, frame.start),
+                    lambda key: population[key],
+                )
+            closed = self.backend.close_slot()
+            yield SlotFrame(
+                slot=frame.slot,
+                start=frame.start,
+                rates=closed * 8.0 / seconds,
+                population=self.backend.prefixes,
+                residual_row=self.backend.residual_row,
+            )
+
+
+#: CLI names accepted by :func:`make_backend`, which holds the actual
+#: name → class mapping.
+BACKEND_NAMES = ("exact", "space-saving", "misra-gries", "count-min",
+                 "sample-hold")
+
+
+def make_backend(name: str, capacity: int | None = None,
+                 seed: int = 0, **kwargs) -> AggregationBackend:
+    """Build a backend by CLI name.
+
+    ``exact`` takes no capacity; every sketch backend requires one.
+    Extra keyword arguments go to the backend constructor (for example
+    ``sampling_probability`` for ``sample-hold``).
+    """
+    if name == "exact":
+        if capacity is not None:
+            raise ClassificationError(
+                "the exact backend tracks every flow; --capacity only "
+                "applies to sketch backends"
+            )
+        return ExactAggregation(**kwargs)
+    classes: dict[str, type[SketchAggregation]] = {
+        "space-saving": SpaceSavingAggregation,
+        "misra-gries": MisraGriesAggregation,
+        "count-min": CountMinAggregation,
+        "sample-hold": SampleHoldAggregation,
+    }
+    if name not in classes:
+        raise ClassificationError(
+            f"unknown backend {name!r}; expected one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    if capacity is None:
+        raise ClassificationError(
+            f"backend {name!r} needs --capacity or --memory-budget"
+        )
+    if capacity < 1:
+        raise ClassificationError("capacity must be >= 1")
+    if name in ("count-min", "sample-hold"):
+        kwargs.setdefault("seed", seed)
+    return classes[name](capacity, **kwargs)
+
+
+def parse_memory_budget(text: str) -> int:
+    """Parse ``"512k"``/``"8m"``/``"1g"``/plain-byte budget strings."""
+    text = text.strip().lower()
+    multiplier = 1
+    if text and text[-1] in "kmg":
+        multiplier = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        raise ClassificationError(
+            f"bad memory budget {text!r}; use bytes or k/m/g suffixes"
+        ) from None
+    if value < 1:
+        raise ClassificationError("memory budget must be positive")
+    return value * multiplier
+
+
+def capacity_for_budget(name: str, budget_bytes: int) -> int:
+    """Convert a byte budget into a tracked-flow capacity for ``name``.
+
+    Uses the coarse :data:`TRACKED_ENTRY_BYTES` cost model; Count-Min
+    additionally pays for its counter table, which scales with capacity
+    through the default width factor.
+    """
+    if name == "exact":
+        raise ClassificationError(
+            "the exact backend has no memory bound to budget; "
+            "pick a sketch backend"
+        )
+    per_entry = TRACKED_ENTRY_BYTES
+    if name == "count-min":
+        per_entry += _CM_WIDTH_FACTOR * _CM_DEPTH * 8
+    capacity = budget_bytes // per_entry
+    if capacity < 1:
+        raise ClassificationError(
+            f"memory budget {budget_bytes} B is below one tracked entry "
+            f"(~{per_entry} B) for backend {name!r}"
+        )
+    return int(capacity)

@@ -32,6 +32,7 @@ from repro.errors import ClassificationError
 from repro.flows.matrix import RateMatrix
 from repro.flows.records import TimeAxis
 from repro.net.prefix import Prefix
+from repro.pipeline.backends import AggregationBackend, SketchSlotSource
 from repro.pipeline.sources import MatrixSlotSource, SlotFrame, SlotSource
 
 
@@ -56,12 +57,23 @@ class StreamingPipeline:
     population expands; a grown flow's state is backfilled as if it had
     been an all-zero row from the start, which keeps streaming verdicts
     identical to the batch classifiers'.
+
+    ``backend`` optionally interposes a bounded aggregation backend
+    between the source and the classifier (via
+    :class:`~repro.pipeline.backends.SketchSlotSource`): frames are
+    re-keyed to the backend's capacity-bounded population plus a
+    residual row. Use it for slot-level inputs (matrix replays); packet
+    inputs should pass the backend to the aggregator instead, where the
+    bound applies before any per-flow state exists.
     """
 
     def __init__(self, source: SlotSource,
                  scheme: Scheme = Scheme.CONSTANT_LOAD,
                  feature: Feature = Feature.LATENT_HEAT,
-                 config: EngineConfig | None = None) -> None:
+                 config: EngineConfig | None = None,
+                 backend: AggregationBackend | None = None) -> None:
+        if backend is not None:
+            source = SketchSlotSource(source, backend)
         self.source = source
         self.scheme = scheme
         self.feature = feature
@@ -100,8 +112,11 @@ class StreamingPipeline:
             padded = np.zeros(self.classifier.num_flows)
             padded[:rates.size] = rates
             rates = padded
-        verdict = self.classifier.observe_slot(rates)
-        self._builder.add_slot(rates, verdict.elephant_mask)
+        exclude = (np.array([frame.residual_row], dtype=np.int64)
+                   if frame.residual_row is not None else None)
+        verdict = self.classifier.observe_slot(rates, exclude_rows=exclude)
+        self._builder.add_slot(rates, verdict.elephant_mask,
+                               residual_row=frame.residual_row)
         return StreamEvent(frame, verdict)
 
     def series(self) -> ElephantSeries:
@@ -182,16 +197,19 @@ def run_stream(source: SlotSource,
                scheme: Scheme = Scheme.CONSTANT_LOAD,
                feature: Feature = Feature.LATENT_HEAT,
                config: EngineConfig | None = None,
+               backend: AggregationBackend | None = None,
                ) -> tuple[ClassificationResult, ElephantSeries]:
     """Run a slot source end to end and collect the batch-shaped result.
 
-    The convenience entry point for "stream it, then analyse it": the
-    returned result equals what the batch engine computes on the
-    equivalent matrix.
+    The convenience entry point for "stream it, then analyse it": with
+    the default (exact) backend the returned result equals what the
+    batch engine computes on the equivalent matrix; with a sketch
+    backend the result covers the bounded population plus the residual
+    row.
     """
     config = config or EngineConfig()
     pipeline = StreamingPipeline(source, scheme=scheme, feature=feature,
-                                 config=config)
+                                 config=config, backend=backend)
     collector = StreamCollector().collect(pipeline.events())
     detector = make_detector(scheme, beta=config.beta)
     result = collector.result(
@@ -207,13 +225,15 @@ def classify_matrix_streaming(matrix: RateMatrix,
                               scheme: Scheme = Scheme.CONSTANT_LOAD,
                               feature: Feature = Feature.LATENT_HEAT,
                               config: EngineConfig | None = None,
+                              backend: AggregationBackend | None = None,
                               ) -> ClassificationResult:
     """Classify a rate matrix through the streaming path.
 
     Batch-as-a-wrapper: the matrix replays column by column through the
     online classifier and the verdicts reassemble into the exact result
-    the batch engine produces.
+    the batch engine produces. A sketch ``backend`` bounds the tracked
+    population, trading exactness for fixed memory.
     """
     result, _ = run_stream(MatrixSlotSource(matrix), scheme=scheme,
-                           feature=feature, config=config)
+                           feature=feature, config=config, backend=backend)
     return result

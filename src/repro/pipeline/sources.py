@@ -117,12 +117,19 @@ class SlotFrame:
     grows as later slots discover new flows — ``rates.size`` is the
     authoritative population size when this frame was emitted, and rows
     keep their position forever (flows are only appended).
+
+    ``residual_row`` marks the row carrying *untracked* traffic when a
+    bounded aggregation backend produced this frame: that row conserves
+    the bytes of flows outside the sketch's candidate table and must
+    never itself be classified as an elephant. ``None`` (the default)
+    means every row is a real flow.
     """
 
     slot: int
     start: float
     rates: np.ndarray
     population: Sequence[Prefix]
+    residual_row: int | None = None
 
     @property
     def num_flows(self) -> int:

@@ -15,14 +15,28 @@ from repro.sketches.count_min import CountMinSketch
 from repro.sketches.misra_gries import MisraGries
 from repro.sketches.sample_hold import SampleAndHold
 from repro.sketches.space_saving import SpaceSaving
+from repro.sketches.streaming_eval import (
+    COMPARISON_COLUMNS,
+    BackendComparison,
+    BackendRun,
+    evaluate_backends,
+    run_backend,
+    score_against,
+)
 
 __all__ = [
+    "BackendComparison",
+    "BackendRun",
+    "COMPARISON_COLUMNS",
     "CountMinSketch",
     "MisraGries",
     "SampleAndHold",
     "SketchRun",
     "SpaceSaving",
+    "evaluate_backends",
     "exact_top_k_per_slot",
     "mask_agreement",
+    "run_backend",
+    "score_against",
     "space_saving_per_slot",
 ]

@@ -24,6 +24,19 @@ class TestElephantSeries:
         )
         assert 0.0 < series.mean_fraction < 1.0
 
+    def test_from_result_with_residual_row(self, small_grid):
+        result = small_grid[(Scheme.CONSTANT_LOAD, Feature.LATENT_HEAT)]
+        plain = ElephantSeries.from_result(result)
+        assert plain.residual_fraction is None
+        assert plain.mean_residual_fraction == 0.0
+        coverage = ElephantSeries.from_result(result, residual_row=0)
+        expected = (result.matrix.rates[0]
+                    / result.matrix.rates.sum(axis=0))
+        assert np.allclose(coverage.residual_fraction, expected)
+        assert coverage.mean_residual_fraction == pytest.approx(
+            float(expected.mean())
+        )
+
     def test_burstiness_of_known_series(self):
         series = ElephantSeries(
             label="x",

@@ -152,3 +152,57 @@ class TestVerdict:
             heats.append(float(verdict.latent_heat[0]))
         # deviations: +10, -10, -10, -10, +20 ; window-3 sums:
         assert heats == [10.0, 0.0, -10.0, -30.0, 0.0]
+
+
+class TestExcludedRows:
+    """Residual-row exclusion: withheld from thresholds and verdicts."""
+
+    def make(self, num_flows=4):
+        return OnlineClassifier(ConstantLoadThreshold(0.8),
+                                num_flows=num_flows)
+
+    def test_excluded_row_never_elephant(self):
+        classifier = self.make()
+        rates = np.array([9e9, 100.0, 200.0, 5e6])
+        verdict = classifier.observe_slot(
+            rates, exclude_rows=np.array([0]))
+        assert not verdict.elephant_mask[0]
+        # the huge excluded row did not drag the threshold up past the
+        # genuinely heavy flow
+        assert verdict.elephant_mask[3]
+
+    def test_exclusion_emptied_lead_in_bootstraps_from_residual(self):
+        """An all-residual lead-in slot detects its threshold from the
+        unexcluded (link-level) rates: positive threshold, zero
+        elephants, slot indices in sync for later verdicts."""
+        classifier = self.make(num_flows=2)
+        first = classifier.observe_slot(np.array([500.0, 0.0]),
+                                        exclude_rows=np.array([0]))
+        assert first.thresholds.slot == 0
+        assert first.thresholds.raw > 0.0
+        assert first.thresholds.smoothed > 0.0
+        assert first.num_elephants == 0
+        second = classifier.observe_slot(np.array([500.0, 4000.0]),
+                                         exclude_rows=np.array([0]))
+        assert second.thresholds.slot == 1
+        assert second.elephant_mask[1]
+        assert not second.elephant_mask[0]
+
+    def test_genuinely_empty_slot_still_raises_like_batch(self):
+        """An all-zero first slot fails exactly as the batch engine
+        does — with or without exclusions — the equivalence contract."""
+        from repro.errors import EstimatorError
+        classifier = self.make(num_flows=2)
+        with pytest.raises(EstimatorError):
+            classifier.observe_slot(np.zeros(2))
+        with pytest.raises(EstimatorError):
+            self.make(num_flows=2).observe_slot(
+                np.zeros(2), exclude_rows=np.array([0]))
+
+    def test_out_of_range_exclusions_ignored(self):
+        classifier = self.make(num_flows=2)
+        verdict = classifier.observe_slot(
+            np.array([100.0, 4000.0]),
+            exclude_rows=np.array([-3, 7]),
+        )
+        assert verdict.elephant_mask[1]

@@ -208,3 +208,98 @@ class TestStreamingAggregator:
     def test_bad_slot_seconds_rejected(self):
         with pytest.raises(ClassificationError):
             StreamingAggregator(make_table("10.0.0.0/8"), slot_seconds=0.0)
+
+
+class TestOutOfOrderAccounting:
+    """``packets_outside_axis`` semantics under out-of-order arrival.
+
+    The contract: a packet is "outside the axis" exactly when its slot
+    precedes the currently *open* slot — those bytes were already
+    emitted and a one-pass monitor cannot revise history. Reordering
+    *within* the open horizon (same slot, or a not-yet-emitted later
+    slot in the same batch) is tolerated and counted normally.
+    """
+
+    def test_within_open_slot_reorder_is_not_outside(self):
+        aggregator = StreamingAggregator(make_table("10.0.0.0/8"),
+                                         slot_seconds=100.0, start=0.0)
+        aggregator.ingest(batch([(50.0, "10.0.0.1", 100)]))
+        aggregator.ingest(batch([(10.0, "10.0.0.2", 200)]))  # same slot
+        assert aggregator.stats.packets_outside_axis == 0
+        assert aggregator.stats.packets_matched == 2
+        (frame,) = aggregator.finish()
+        assert frame.rates.sum() == pytest.approx(300 * 8 / 100.0)
+
+    def test_in_batch_reorder_across_open_slots_is_tolerated(self):
+        """A batch carrying [slot 2, slot 1] packets: both accepted."""
+        aggregator = StreamingAggregator(make_table("10.0.0.0/8"),
+                                         slot_seconds=10.0, start=0.0)
+        frames = aggregator.ingest(batch([
+            (25.0, "10.0.0.1", 100),   # slot 2
+            (15.0, "10.0.0.1", 200),   # slot 1, earlier but unemitted
+        ]))
+        frames += aggregator.finish()
+        assert aggregator.stats.packets_outside_axis == 0
+        assert [f.slot for f in frames] == [1, 2]
+        assert frames[0].rates[0] == pytest.approx(200 * 8 / 10.0)
+        assert frames[1].rates[0] == pytest.approx(100 * 8 / 10.0)
+
+    def test_late_bytes_excluded_from_frames_and_records(self):
+        aggregator = StreamingAggregator(make_table("10.0.0.0/8"),
+                                         slot_seconds=10.0, start=0.0)
+        aggregator.ingest(batch([(25.0, "10.0.0.1", 100)]))  # opens slot 2
+        aggregator.ingest(batch([
+            (5.0, "10.0.0.1", 999),    # slot 0: late, dropped
+            (26.0, "10.0.0.1", 100),   # slot 2: fine
+        ]))
+        frames = aggregator.finish()
+        assert aggregator.stats.packets_outside_axis == 1
+        assert aggregator.stats.packets_matched == 2
+        assert aggregator.stats.bytes_matched == 200
+        assert sum(float(f.rates.sum()) for f in frames) \
+            == pytest.approx(200 * 8 / 10.0)
+        (record,) = aggregator.flow_records()
+        assert record.packets == 2
+        assert record.bytes_total == 200
+
+    def test_late_packets_counted_across_many_batches(self):
+        aggregator = StreamingAggregator(make_table("10.0.0.0/8"),
+                                         slot_seconds=10.0, start=0.0)
+        aggregator.ingest(batch([(55.0, "10.0.0.1", 100)]))
+        for stamp in (1.0, 12.0, 23.0, 34.0):
+            aggregator.ingest(batch([(stamp, "10.0.0.1", 100)]))
+        assert aggregator.stats.packets_outside_axis == 4
+        assert aggregator.stats.packets_matched == 1
+
+    def test_late_and_unrouted_counted_independently(self):
+        aggregator = StreamingAggregator(make_table("10.0.0.0/8"),
+                                         slot_seconds=10.0, start=0.0)
+        aggregator.ingest(batch([(25.0, "10.0.0.1", 100)]))
+        aggregator.ingest(batch([
+            (5.0, "10.0.0.1", 100),     # late
+            (5.0, "192.0.2.1", 100),    # late AND unrouted -> late wins
+            (26.0, "192.0.2.1", 100),   # timely but unrouted
+        ]))
+        assert aggregator.stats.packets_outside_axis == 2
+        assert aggregator.stats.packets_unrouted == 1
+        assert aggregator.stats.packets_matched == 1
+
+    @pytest.mark.parametrize("backend_name", ["space-saving",
+                                              "misra-gries"])
+    def test_sketch_backends_share_drop_accounting(self, backend_name):
+        """Late-packet accounting happens before the backend: a sketch
+        run reports the same stats as the exact run."""
+        def run(backend):
+            aggregator = StreamingAggregator(
+                make_table("10.0.0.0/8", "20.0.0.0/8"),
+                slot_seconds=10.0, start=0.0, backend=backend,
+                capacity=4 if backend else None,
+            )
+            aggregator.ingest(batch([(25.0, "10.0.0.1", 100)]))
+            aggregator.ingest(batch([
+                (5.0, "20.0.0.1", 100), (27.0, "20.0.0.1", 300),
+            ]))
+            aggregator.finish()
+            return aggregator.stats
+
+        assert run(backend_name) == run(None)

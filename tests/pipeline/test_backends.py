@@ -1,0 +1,346 @@
+"""Tests for the bounded aggregation backends.
+
+The load-bearing guarantees: (1) sketch backends never hold more than
+``capacity`` flows of tracked state, however many flows the trace
+carries; (2) bytes are conserved — tracked rows plus the residual row
+always sum to the matched traffic; (3) rows keep their positional
+identity across eviction and re-admission; (4) the exact backend is
+bit-compatible with the aggregator's historical behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClassificationError
+from repro.net import ipv4
+from repro.net.prefix import Prefix
+from repro.pipeline import (
+    RESIDUAL_PREFIX,
+    MatrixSlotSource,
+    SketchSlotSource,
+    StreamingAggregator,
+    capacity_for_budget,
+    make_backend,
+    parse_memory_budget,
+)
+from repro.pipeline.backends import TRACKED_ENTRY_BYTES
+from repro.pipeline.sources import PacketBatch
+from repro.flows.matrix import RateMatrix
+from repro.flows.records import TimeAxis
+from repro.routing.lpm import FixedLengthResolver
+
+SKETCH_NAMES = ("space-saving", "misra-gries", "count-min", "sample-hold")
+
+
+def batch(rows):
+    """Build a PacketBatch from ``(timestamp, destination, size)`` rows."""
+    timestamps = np.array([r[0] for r in rows], dtype=np.float64)
+    destinations = np.array([ipv4.parse_ipv4(r[1]) for r in rows],
+                            dtype=np.int64)
+    sizes = np.array([r[2] for r in rows], dtype=np.int64)
+    return PacketBatch(
+        timestamps=timestamps,
+        sources=np.zeros(len(rows), dtype=np.int64),
+        destinations=destinations,
+        protocols=np.zeros(len(rows), dtype=np.int64),
+        wire_bytes=sizes,
+        packets_seen=len(rows),
+    )
+
+
+def heavy_tailed_rows(num_heavy=5, num_mice=120, num_slots=6,
+                      slot_seconds=10.0, seed=3):
+    """Packet rows with few persistent heavy flows and many mice."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for slot in range(num_slots):
+        t0 = slot * slot_seconds
+        for i in range(num_heavy):
+            for _ in range(30):
+                rows.append((t0 + rng.uniform(0, slot_seconds),
+                             f"10.{i}.0.1", 1500))
+        for _ in range(num_mice):
+            mouse = rng.integers(0, num_mice)
+            rows.append((t0 + rng.uniform(0, slot_seconds),
+                         f"172.{16 + mouse // 250}.{mouse % 250}.1", 64))
+    rows.sort(key=lambda r: r[0])
+    return rows
+
+
+def run_backend_over(rows, backend, slot_seconds=10.0, chunks=1):
+    aggregator = StreamingAggregator(FixedLengthResolver(24),
+                                     slot_seconds=slot_seconds,
+                                     backend=backend)
+    frames = []
+    for chunk in np.array_split(np.arange(len(rows)), chunks):
+        frames += aggregator.ingest(batch([rows[i] for i in chunk]))
+    frames += aggregator.finish()
+    return aggregator, frames
+
+
+class TestCapacityBound:
+    @pytest.mark.parametrize("name", SKETCH_NAMES)
+    def test_tracked_state_never_exceeds_capacity(self, name):
+        capacity = 8
+        backend = make_backend(name, capacity=capacity)
+        rows = heavy_tailed_rows()
+        aggregator = StreamingAggregator(FixedLengthResolver(24),
+                                         slot_seconds=10.0,
+                                         backend=backend)
+        for i in range(0, len(rows), 100):
+            aggregator.ingest(batch(rows[i:i + 100]))
+            assert backend.tracked_flows <= capacity
+        aggregator.finish()
+        assert backend.peak_tracked <= capacity
+
+    @pytest.mark.parametrize("name", SKETCH_NAMES)
+    def test_heavy_flows_earn_rows(self, name):
+        # sample-hold never evicts, so held mice occupy entries for the
+        # whole run: give it headroom and a sampling rate that catches
+        # the heavy flows quickly but rarely holds a 64-byte mouse
+        backend = (make_backend(name, capacity=8) if name != "sample-hold"
+                   else make_backend(name, capacity=16,
+                                     sampling_probability=1e-4))
+        aggregator, frames = run_backend_over(heavy_tailed_rows(), backend)
+        heavy = {Prefix.parse(f"10.{i}.0.0/24") for i in range(5)}
+        assert heavy <= set(aggregator.prefixes)
+        # the heavy rows carry their real bandwidth in the final frame
+        final = frames[-1]
+        for prefix in heavy:
+            row = aggregator.prefixes.index(prefix)
+            assert final.rates[row] > 0
+
+
+class TestCountMinHeapBound:
+    def test_candidate_heap_stays_bounded_on_long_streams(self):
+        """Re-offering a stable candidate set must not grow the lazy
+        heap with the stream (stale entries are pruned by rebuild)."""
+        backend = make_backend("count-min", capacity=8)
+        aggregator = StreamingAggregator(FixedLengthResolver(24),
+                                         slot_seconds=1.0,
+                                         backend=backend)
+        for slot in range(500):
+            aggregator.ingest(batch([
+                (float(slot) + 0.1 * i, f"10.{i}.0.1", 1000)
+                for i in range(8)
+            ]))
+        assert len(backend._heap) <= 4 * backend.capacity
+        assert backend.tracked_flows <= backend.capacity
+
+
+class TestResidualSemantics:
+    @pytest.mark.parametrize("name", SKETCH_NAMES)
+    def test_bytes_conserved_including_residual(self, name):
+        backend = make_backend(name, capacity=6)
+        aggregator, frames = run_backend_over(heavy_tailed_rows(), backend,
+                                              chunks=7)
+        recovered = sum(float(f.rates.sum()) for f in frames) * 10.0 / 8.0
+        assert recovered == pytest.approx(aggregator.stats.bytes_matched)
+
+    def test_residual_row_is_row_zero(self):
+        backend = make_backend("space-saving", capacity=4)
+        aggregator, frames = run_backend_over(heavy_tailed_rows(), backend)
+        assert backend.residual_row == 0
+        assert aggregator.prefixes[0] == RESIDUAL_PREFIX
+        for frame in frames:
+            assert frame.residual_row == 0
+
+    def test_exact_backend_has_no_residual(self):
+        aggregator, frames = run_backend_over(heavy_tailed_rows(), None)
+        assert aggregator.backend.residual_row is None
+        assert RESIDUAL_PREFIX not in aggregator.prefixes
+        for frame in frames:
+            assert frame.residual_row is None
+
+    def test_real_default_route_folds_into_residual(self):
+        """A 0.0.0.0/0 RIB entry must not duplicate the residual
+        prefix in the population — its traffic joins the residual."""
+        from repro.pipeline import run_stream
+        from repro.pipeline.aggregator import AggregatingSlotSource
+        from repro.routing.lpm import CompiledLpm
+
+        resolver = CompiledLpm([Prefix.parse("0.0.0.0/0"),
+                                Prefix.parse("10.0.0.0/8")])
+        backend = make_backend("space-saving", capacity=4)
+        aggregator = StreamingAggregator(resolver, slot_seconds=10.0,
+                                         backend=backend)
+        rows = [(float(i), "10.0.0.1", 1500) for i in range(20)]
+        rows += [(float(i) + 0.5, "192.0.2.1", 1000) for i in range(20)]
+        rows.sort(key=lambda r: r[0])
+
+        class Source:
+            def batches(self):
+                return iter([batch(rows)])
+
+        result, series = run_stream(
+            AggregatingSlotSource(Source(), aggregator))
+        population = aggregator.prefixes
+        assert population.count(RESIDUAL_PREFIX) == 1
+        assert population[0] == RESIDUAL_PREFIX
+        # default-route bytes are conserved in the residual row
+        recovered = float(sum(
+            result.matrix.rates[0] * 10.0 / 8.0
+        ))
+        assert recovered == pytest.approx(20 * 1000)
+        assert series.mean_residual_fraction > 0.0
+
+    def test_prefix_length_zero_granularity_under_sketch(self):
+        """--prefix-length 0 keys everything to 0.0.0.0/0: the whole
+        link is 'other traffic', and the full pipeline still runs —
+        zero elephants, thresholds unstarted, traffic conserved."""
+        from repro.pipeline import StreamingPipeline
+        from repro.pipeline.aggregator import AggregatingSlotSource
+
+        backend = make_backend("misra-gries", capacity=4)
+        aggregator = StreamingAggregator(FixedLengthResolver(0),
+                                         slot_seconds=10.0,
+                                         backend=backend)
+        rows = [(float(i), "10.0.0.1", 100) for i in range(30)]
+        rows += [(float(i) + 0.5, "172.16.0.1", 300) for i in range(30)]
+        rows.sort(key=lambda r: r[0])
+
+        class Source:
+            def batches(self):
+                return iter([batch(rows)])
+
+        pipeline = StreamingPipeline(
+            AggregatingSlotSource(Source(), aggregator))
+        events = list(pipeline.events())
+        assert len(events) == 3
+        for event in events:
+            assert list(event.frame.population) == [RESIDUAL_PREFIX]
+            assert event.verdict.num_elephants == 0
+            # thresholds bootstrap from link level, never zero
+            assert event.verdict.thresholds.raw > 0.0
+        series = pipeline.series()
+        assert series.mean_residual_fraction == pytest.approx(1.0)
+        assert series.mean_fraction == 0.0
+
+    def test_residual_record_accounts_untracked_packets(self):
+        backend = make_backend("misra-gries", capacity=4)
+        aggregator, _ = run_backend_over(heavy_tailed_rows(), backend)
+        records = aggregator.flow_records()
+        assert records[0].prefix == RESIDUAL_PREFIX
+        assert records[0].packets > 0
+        total = sum(r.packets for r in records)
+        assert total == aggregator.stats.packets_matched
+
+
+class TestRowIdentity:
+    def test_rows_stable_across_eviction_and_readmission(self):
+        """A flow evicted mid-run keeps its row when it comes back."""
+        backend = make_backend("space-saving", capacity=2)
+        aggregator = StreamingAggregator(FixedLengthResolver(24),
+                                         slot_seconds=10.0,
+                                         backend=backend)
+        # slot 0: A dominates; slot 1: B floods A out; slot 2: A returns
+        aggregator.ingest(batch(
+            [(1.0, "10.0.0.1", 1500)] * 20
+            + [(12.0, "10.1.0.1", 1500)] * 40
+            + [(12.5, "10.2.0.1", 1500)] * 40
+            + [(22.0, "10.0.0.1", 1500)] * 60
+        ))
+        frames = aggregator.finish()
+        row_a = aggregator.prefixes.index(Prefix.parse("10.0.0.0/24"))
+        last = frames[-1] if frames else None
+        assert last is not None
+        assert last.rates[row_a] == pytest.approx(60 * 1500 * 8 / 10.0)
+
+    def test_population_only_appends(self):
+        backend = make_backend("space-saving", capacity=4)
+        aggregator = StreamingAggregator(FixedLengthResolver(24),
+                                         slot_seconds=10.0,
+                                         backend=backend)
+        seen: list[Prefix] = []
+        rows = heavy_tailed_rows(num_heavy=3, num_mice=40)
+        for i in range(0, len(rows), 50):
+            for frame in aggregator.ingest(batch(rows[i:i + 50])):
+                assert list(frame.population[:len(seen)]) == seen
+                seen = list(frame.population)
+
+
+class TestExactBackendCompatibility:
+    def test_default_and_named_exact_identical(self):
+        rows = heavy_tailed_rows(num_heavy=3, num_mice=30, num_slots=4)
+        default, default_frames = run_backend_over(rows, None, chunks=3)
+        named, named_frames = run_backend_over(rows, "exact", chunks=3)
+        assert default.prefixes == named.prefixes
+        assert len(default_frames) == len(named_frames)
+        for a, b in zip(default_frames, named_frames):
+            assert np.array_equal(a.rates, b.rates)
+        assert default.stats == named.stats
+
+
+class TestSketchSlotSource:
+    def make_matrix(self, num_flows=30, num_slots=5, seed=11):
+        rng = np.random.default_rng(seed)
+        prefixes = [Prefix.parse(f"10.{i}.0.0/16")
+                    for i in range(num_flows)]
+        rates = rng.uniform(1e3, 1e4, size=(num_flows, num_slots))
+        rates[:4] *= 200.0  # four clear elephants
+        return RateMatrix(prefixes, TimeAxis(0.0, 60.0, num_slots), rates)
+
+    def test_column_sums_conserved(self):
+        matrix = self.make_matrix()
+        source = SketchSlotSource(MatrixSlotSource(matrix),
+                                  make_backend("space-saving", capacity=6))
+        for frame in source.slots():
+            assert frame.rates.sum() == pytest.approx(
+                matrix.rates[:, frame.slot].sum())
+
+    def test_heavy_rows_survive_filtering(self):
+        matrix = self.make_matrix()
+        backend = make_backend("misra-gries", capacity=8)
+        source = SketchSlotSource(MatrixSlotSource(matrix), backend)
+        frames = list(source.slots())
+        population = list(frames[-1].population)
+        for i in range(4):
+            row = population.index(matrix.prefixes[i])
+            assert frames[-1].rates[row] == pytest.approx(
+                matrix.rates[i, -1])
+        assert backend.peak_tracked <= 8
+
+
+class TestFactoryAndBudget:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ClassificationError, match="unknown backend"):
+            make_backend("bloom", capacity=4)
+
+    def test_sketch_requires_capacity(self):
+        with pytest.raises(ClassificationError, match="capacity"):
+            make_backend("space-saving")
+
+    def test_exact_rejects_capacity(self):
+        with pytest.raises(ClassificationError, match="exact"):
+            make_backend("exact", capacity=4)
+
+    def test_capacity_floor(self):
+        with pytest.raises(ClassificationError):
+            make_backend("count-min", capacity=0)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("1024", 1024),
+        ("64k", 64 << 10),
+        ("2m", 2 << 20),
+        ("1g", 1 << 30),
+    ])
+    def test_parse_memory_budget(self, text, expected):
+        assert parse_memory_budget(text) == expected
+
+    def test_parse_memory_budget_rejects_garbage(self):
+        with pytest.raises(ClassificationError):
+            parse_memory_budget("lots")
+
+    def test_capacity_for_budget_scales(self):
+        small = capacity_for_budget("space-saving", 64 << 10)
+        large = capacity_for_budget("space-saving", 1 << 20)
+        assert small == (64 << 10) // TRACKED_ENTRY_BYTES
+        assert large > small
+
+    def test_capacity_for_budget_exact_rejected(self):
+        with pytest.raises(ClassificationError):
+            capacity_for_budget("exact", 1 << 20)
+
+    def test_budget_below_one_entry_rejected(self):
+        with pytest.raises(ClassificationError):
+            capacity_for_budget("space-saving", 16)

@@ -143,6 +143,119 @@ class TestStream:
         assert "0.7-constant-load single-feature" in out
 
 
+class TestStreamBackends:
+    def test_sketch_backend_on_pcap(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"], "--json",
+                     "--backend", "space-saving", "--capacity", "4"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["backend"] == "space-saving"
+        assert summary["capacity"] == 4
+        assert summary["tracked_flows"] <= 4
+        assert summary["peak_tracked_flows"] <= 4
+        assert 0.0 <= summary["mean_residual_fraction"] <= 1.0
+
+    def test_sketch_backend_on_matrix_replay(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["npz"], "--json",
+                     "--backend", "misra-gries", "--capacity", "3"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["backend"] == "misra-gries"
+        assert summary["peak_tracked_flows"] <= 3
+
+    def test_memory_budget_sizes_capacity(self, stream_capture, capsys):
+        from repro.pipeline.backends import TRACKED_ENTRY_BYTES
+        assert main(["stream", stream_capture["pcap"], "--json",
+                     "--backend", "space-saving",
+                     "--memory-budget", "64k"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["capacity"] == (64 << 10) // TRACKED_ENTRY_BYTES
+
+    def test_table_summary_includes_backend_fields(self, stream_capture,
+                                                   capsys):
+        assert main(["stream", stream_capture["pcap"], "--quiet",
+                     "--backend", "count-min", "--capacity", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "peak_tracked_flows" in out
+        assert "mean_residual_fraction" in out
+
+
+class TestStreamErrors:
+    def test_capacity_below_one(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"], "--backend",
+                     "space-saving", "--capacity", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sketch_without_capacity(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"],
+                     "--backend", "space-saving"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--capacity" in err
+
+    def test_exact_rejects_capacity(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"],
+                     "--capacity", "8"]) == 2
+        assert "exact" in capsys.readouterr().err
+
+    def test_capacity_and_budget_conflict(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"],
+                     "--backend", "space-saving", "--capacity", "8",
+                     "--memory-budget", "1m"]) == 2
+        assert "alternatives" in capsys.readouterr().err
+
+    def test_bad_memory_budget(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"],
+                     "--backend", "space-saving",
+                     "--memory-budget", "plenty"]) == 2
+        assert "memory budget" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_parser(self, stream_capture):
+        with pytest.raises(SystemExit):
+            main(["stream", stream_capture["pcap"],
+                  "--backend", "bloom-filter"])
+
+    def test_corrupt_npz(self, tmp_path, capsys):
+        path = str(tmp_path / "corrupt.npz")
+        with open(path, "wb") as stream:
+            stream.write(b"this is not a zip archive")
+        assert main(["stream", path]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "corrupt.npz" in err
+
+    @pytest.mark.parametrize("name", ["nope.npz", "nope.csv", "nope.pcap"])
+    def test_missing_input_file(self, tmp_path, name, capsys):
+        """Every input flavour fails with error:/exit 2, never a
+        traceback — the contract a monitor wrapper keys on."""
+        assert main(["stream", str(tmp_path / name)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_rib_file(self, stream_capture, tmp_path, capsys):
+        assert main(["stream", stream_capture["pcap"],
+                     "--rib", str(tmp_path / "nope.rib")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "RIB" in err
+
+    def test_mismatched_matrix_csv_header(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.csv")
+        with open(path, "w") as stream:
+            stream.write("prefix,0.0\n10.0.0.0/16,100\n")  # 1 slot column
+        assert main(["stream", path]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_packet_csv_with_missing_columns(self, tmp_path, capsys):
+        path = str(tmp_path / "rows.csv")
+        with open(path, "w") as stream:
+            stream.write("timestamp,destination,wire_bytes\n")
+            stream.write("0.5,10.0.0.1\n")  # third column missing
+        assert main(["stream", path]) == 2
+        assert "3 columns" in capsys.readouterr().err
+
+    def test_corrupt_npz_classify(self, tmp_path, capsys):
+        path = str(tmp_path / "corrupt.npz")
+        with open(path, "wb") as stream:
+            stream.write(b"\x00" * 16)
+        assert main(["classify", path]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestFigures:
     def test_renders_all_three_panels(self, capsys):
         assert main(["figures", "--scale", "0.08"]) == 0
