@@ -1,0 +1,204 @@
+"""Accuracy and scaling of the shard → merge → classify dataflow.
+
+Two questions a distributed deployment must answer before trusting a
+collector's elephants:
+
+1. **Merged accuracy** — a fleet of monitors each sees ``1/M`` of every
+   flow (round-robin packet split, the hardest case for local
+   detection) and runs a Space-Saving table of size K. After the
+   collector merges and re-truncates the per-slot summaries, how much
+   of the single-monitor exact run's elephant verdicts survive? The CI
+   gate: at ``K = 4 x`` the true elephant count, merged recall must
+   stay >= :data:`MIN_MERGED_RECALL`.
+2. **Shard scaling** — `ShardedAggregation` splits the flow table
+   without changing results; this bench records its ingest throughput
+   per shard count so regressions in the routing/merge overhead are
+   visible across PRs.
+
+Both sets of numbers land in ``benchmarks/reports/`` twice: a human
+table (``bench_sharded_merge.txt``) and a machine-readable
+``BENCH_sharded_merge.json`` that CI uploads, so the accuracy/perf
+trajectory can be diffed across commits.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.distributed import Collector, SlotSummary, StridedPacketSource
+from repro.flows.matrix import RateMatrix
+from repro.flows.records import TimeAxis
+from repro.net.prefix import Prefix
+from repro.pipeline import (
+    AggregatingSlotSource,
+    PcapPacketSource,
+    StreamingAggregator,
+    make_backend,
+)
+from repro.routing.lpm import CompiledLpm
+from repro.sketches.streaming_eval import (
+    BackendRun,
+    run_backend,
+    score_against,
+)
+from repro.traffic.packetize import PacketizerConfig, write_pcap
+
+#: The CI gate: merged elephant recall at K = CAPACITY_FACTOR x true.
+MIN_MERGED_RECALL = 0.85
+CAPACITY_FACTOR = 4
+#: Monitors in the merged-accuracy scenario (round-robin packet split).
+NUM_MONITORS = 3
+SHARD_COUNTS = (1, 2, 4)
+
+NUM_ELEPHANTS = 10
+NUM_MICE = 150
+NUM_SLOTS = 6
+SLOT_SECONDS = 60.0
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="module")
+def capture(tmp_path_factory):
+    """Persistent elephants over a long tail of mice (as the sketch
+    bench uses), realised once as a pcap."""
+    rng = np.random.default_rng(4321)
+    prefixes = [Prefix.parse(f"10.{i}.0.0/16")
+                for i in range(NUM_ELEPHANTS)]
+    prefixes += [Prefix.parse(f"172.{16 + i // 200}.{i % 200}.0/24")
+                 for i in range(NUM_MICE)]
+    axis = TimeAxis(0.0, SLOT_SECONDS, NUM_SLOTS)
+    rates = np.zeros((len(prefixes), NUM_SLOTS))
+    rates[:NUM_ELEPHANTS] = rng.uniform(4e4, 1e5,
+                                        size=(NUM_ELEPHANTS, NUM_SLOTS))
+    rates[NUM_ELEPHANTS:] = rng.uniform(5e2, 3e3,
+                                        size=(NUM_MICE, NUM_SLOTS))
+    rates[NUM_ELEPHANTS:][rng.random((NUM_MICE, NUM_SLOTS)) < 0.3] = 0.0
+    matrix = RateMatrix(prefixes, axis, rates)
+    path = str(tmp_path_factory.mktemp("sharded") / "elephants.pcap")
+    packets = write_pcap(matrix, path, PacketizerConfig(seed=11))
+    return path, list(prefixes), packets
+
+
+def write_bench_json(payload: dict) -> None:
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, "BENCH_sharded_merge.json")
+    existing = {}
+    if os.path.exists(path):
+        with open(path) as stream:
+            existing = json.load(stream)
+    existing.update(payload)
+    with open(path, "w") as stream:
+        json.dump(existing, stream, indent=2, sort_keys=True)
+
+
+def monitor_summaries(path, prefixes, offset, capacity):
+    """One monitor: 1/NUM_MONITORS of the packets, K-entry table."""
+    source = StridedPacketSource(PcapPacketSource(path),
+                                 NUM_MONITORS, offset)
+    aggregator = StreamingAggregator(
+        CompiledLpm(prefixes), slot_seconds=SLOT_SECONDS, start=0.0,
+        backend=make_backend("space-saving", capacity=capacity),
+    )
+    slots = AggregatingSlotSource(source, aggregator)
+    return [SlotSummary.from_frame(frame, SLOT_SECONDS,
+                                   monitor=f"mon{offset}")
+            for frame in slots.slots()]
+
+
+def test_merged_monitor_recall(capture, report_writer):
+    """The collector's elephants vs the single-monitor exact run."""
+    path, prefixes, packets = capture
+    make_source = lambda: PcapPacketSource(path)  # noqa: E731
+    make_resolver = lambda: CompiledLpm(prefixes)  # noqa: E731
+
+    reference = run_backend(make_source, make_resolver, SLOT_SECONDS)
+    true_elephants = reference.peak_elephants
+    capacity = CAPACITY_FACTOR * true_elephants
+
+    runs = [monitor_summaries(path, prefixes, offset, capacity)
+            for offset in range(NUM_MONITORS)]
+    collector = Collector(runs, k=capacity)
+    merged_sets = [frozenset(event.elephant_prefixes)
+                   for event in collector.events()]
+    series = collector.series()
+    merged = BackendRun(
+        backend=f"merged-space-saving x{NUM_MONITORS}",
+        capacity=capacity,
+        elephant_sets=merged_sets,
+        peak_tracked=max(s.num_entries for s in collector.merged),
+        population_rows=len(collector.pipeline().source.prefixes),
+        mean_residual_fraction=series.mean_residual_fraction,
+    )
+    comparison = score_against(reference, merged)
+
+    lines = [
+        f"capture: {packets} packets, {len(prefixes)} prefixes, "
+        f"{NUM_SLOTS} slots",
+        f"monitors: {NUM_MONITORS} (round-robin packet split), "
+        f"K = {CAPACITY_FACTOR} x {true_elephants} = {capacity} "
+        "per monitor and post-merge",
+        f"exact run: peak {true_elephants} elephants/slot, "
+        f"mean {reference.mean_elephants:.1f}",
+        "",
+        f"merged recall    {comparison.recall:.3f}  "
+        f"(gate: >= {MIN_MERGED_RECALL})",
+        f"merged precision {comparison.precision:.3f}",
+        f"merged churn     {comparison.churn:.3f} "
+        f"(delta {comparison.churn_delta:+.3f})",
+        f"residual share   {merged.mean_residual_fraction:.3f}",
+    ]
+    report_writer("bench_sharded_merge", "\n".join(lines))
+    write_bench_json({"merged": {
+        "monitors": NUM_MONITORS,
+        "capacity": capacity,
+        "true_elephants": true_elephants,
+        "recall": round(comparison.recall, 4),
+        "precision": round(comparison.precision, 4),
+        "churn_delta": round(comparison.churn_delta, 4),
+        "mean_residual_fraction":
+            round(merged.mean_residual_fraction, 4),
+        "min_recall_gate": MIN_MERGED_RECALL,
+    }})
+
+    assert len(merged_sets) == reference.num_slots
+    # the merge-accuracy gate CI enforces
+    assert comparison.recall >= MIN_MERGED_RECALL
+    assert comparison.precision >= 0.5
+
+
+def test_shard_scaling_throughput(capture, report_writer):
+    """Sharded ingest: identical output, measured per-shard overhead."""
+    path, prefixes, packets = capture
+    totals = {}
+    rates = {}
+    for shards in SHARD_COUNTS:
+        aggregator = StreamingAggregator(
+            CompiledLpm(prefixes), slot_seconds=SLOT_SECONDS, start=0.0,
+            backend=make_backend("exact", shards=shards),
+        )
+        started = time.perf_counter()
+        frames = list(AggregatingSlotSource(
+            PcapPacketSource(path), aggregator,
+        ).slots())
+        elapsed = time.perf_counter() - started
+        totals[shards] = sum(float(f.rates.sum()) for f in frames)
+        rates[shards] = aggregator.stats.packets_matched / elapsed
+
+    # sharding must not change the aggregate traffic by a single bit
+    baseline = totals[SHARD_COUNTS[0]]
+    for shards in SHARD_COUNTS[1:]:
+        assert totals[shards] == baseline
+
+    lines = [f"capture: {packets} packets",
+             "shards | packets/s"]
+    lines += [f"{shards:6d} | {rates[shards]:12.0f}"
+              for shards in SHARD_COUNTS]
+    report_writer("bench_sharded_scaling", "\n".join(lines))
+    write_bench_json({"shard_throughput_pps": {
+        str(shards): round(rates[shards]) for shards in SHARD_COUNTS
+    }})
+    assert min(rates.values()) > 0

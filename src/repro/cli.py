@@ -8,7 +8,11 @@ Commands:
   print the summary table (or JSON with ``--json``).
 - ``stream``   — classify a capture slot by slot through the streaming
   pipeline: pcap in, verdicts out, memory bounded by O(flows × window)
-  however long the capture is. Also replays ``.npz``/``.csv`` matrices.
+  however long the capture is. Also replays ``.npz``/``.csv`` matrices,
+  shards the flow table (``--shards``), and exports per-slot summaries
+  for a collector (``--summary-out``).
+- ``merge``    — merge per-monitor summary files slot by slot at a
+  collector and classify the stitched link.
 - ``figures``  — run the full two-link paper experiment and render
   Figure 1(a)–(c) as ASCII charts.
 
@@ -27,6 +31,12 @@ from typing import Sequence
 from repro.analysis.elephants import ElephantSeries
 from repro.analysis.holding import HoldingTimeAnalysis
 from repro.analysis.report import format_table
+from repro.distributed import (
+    Collector,
+    SlotSummary,
+    load_summaries,
+    save_summaries,
+)
 from repro.core.engine import (
     ClassificationEngine,
     EngineConfig,
@@ -110,11 +120,35 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="tracked-flow table size for sketch backends")
     stream.add_argument("--memory-budget", metavar="BYTES", default=None,
                         help="size the sketch capacity from a byte budget "
-                             "(suffixes k/m/g), instead of --capacity")
+                             "(suffixes k/m/g), instead of --capacity; "
+                             "accounts for --shards")
+    stream.add_argument("--shards", type=int, default=1,
+                        help="partition the flow table across N shard "
+                             "backends merged at slot close")
+    stream.add_argument("--summary-out", metavar="FILE", default=None,
+                        help="write per-slot summaries (.npz) for "
+                             "`repro merge`")
     stream.add_argument("--quiet", action="store_true",
                         help="suppress the per-slot monitor lines")
     stream.add_argument("--json", action="store_true",
                         help="print a machine-readable JSON summary")
+
+    merge = commands.add_parser(
+        "merge", help="merge monitor summaries at a collector, classify",
+    )
+    merge.add_argument("summaries", nargs="+",
+                       help=".npz summary files from "
+                            "`repro stream --summary-out`, one per "
+                            "monitor")
+    _add_classifier_options(merge)
+    merge.add_argument("--k", type=int, default=None,
+                       help="re-truncate the merged table to K entries "
+                            "per slot (untracked mass stays in the "
+                            "residual)")
+    merge.add_argument("--quiet", action="store_true",
+                       help="suppress the per-slot monitor lines")
+    merge.add_argument("--json", action="store_true",
+                       help="print a machine-readable JSON summary")
 
     figures = commands.add_parser(
         "figures", help="run the paper experiment, render Figure 1",
@@ -229,12 +263,16 @@ def _backend_from_args(args: argparse.Namespace
                 "give one"
             )
         budget = parse_memory_budget(args.memory_budget)
-        capacity = capacity_for_budget(args.backend, budget)
-    if args.backend == "exact" and capacity is None:
+        # the budget buys N tables of K/N entries, not N tables of K:
+        # a sharded run must not silently use shards x the memory
+        capacity = capacity_for_budget(args.backend, budget,
+                                       shards=args.shards)
+    if args.backend == "exact" and capacity is None and args.shards == 1:
         return None
     # validation (exact rejects capacity, capacity >= 1, ...) lives in
     # make_backend so the CLI and library fail identically
-    return make_backend(args.backend, capacity=capacity)
+    return make_backend(args.backend, capacity=capacity,
+                        shards=args.shards)
 
 
 def _load_matrix(path: str) -> RateMatrix:
@@ -286,6 +324,31 @@ def _stream_source(args: argparse.Namespace,
     return AggregatingSlotSource(packets, aggregator), aggregator
 
 
+def _print_slot_line(event) -> None:
+    """One monitor line per classified slot (stream and merge)."""
+    total = float(event.frame.rates.sum())
+    elephant = float(
+        event.frame.rates[event.verdict.elephant_mask[
+            :event.frame.num_flows]].sum()
+    )
+    fraction = elephant / total if total > 0 else 0.0
+    print(f"slot {event.frame.slot:4d}  "
+          f"t={event.frame.start:12.1f}  "
+          f"flows={event.frame.num_flows:5d}  "
+          f"threshold={event.verdict.thresholds.smoothed / 1e3:9.1f} "
+          f"kb/s  elephants={event.verdict.num_elephants:4d}  "
+          f"fraction={fraction:.2f}")
+
+
+def _print_summary(summary: dict[str, object], as_json: bool,
+                   title: str) -> None:
+    if as_json:
+        print(json.dumps(summary, indent=2))
+        return
+    rows = [[key, value] for key, value in summary.items()]
+    print(format_table(["metric", "value"], rows, title=title))
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     scheme, feature = _scheme_and_feature(args)
     backend = _backend_from_args(args)
@@ -298,29 +361,26 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                                  backend=(backend if aggregator is None
                                           else None))
     slots = 0
+    summaries: list[SlotSummary] = []
     for event in pipeline.events():
         slots += 1
+        if args.summary_out is not None:
+            summaries.append(SlotSummary.from_frame(
+                event.frame, source.slot_seconds, monitor=args.input,
+            ))
         if args.quiet or args.json:
             continue
-        total = float(event.frame.rates.sum())
-        elephant = float(
-            event.frame.rates[event.verdict.elephant_mask[
-                :event.frame.num_flows]].sum()
-        )
-        fraction = elephant / total if total > 0 else 0.0
-        print(f"slot {event.frame.slot:4d}  "
-              f"t={event.frame.start:12.1f}  "
-              f"flows={event.frame.num_flows:5d}  "
-              f"threshold={event.verdict.thresholds.smoothed / 1e3:9.1f} "
-              f"kb/s  elephants={event.verdict.num_elephants:4d}  "
-              f"fraction={fraction:.2f}")
+        _print_slot_line(event)
     if slots == 0:
         print("no slots in input", file=sys.stderr)
         return 1
+    if args.summary_out is not None:
+        save_summaries(args.summary_out, summaries)
     series = pipeline.series()
     num_flows = (pipeline.classifier.num_flows
                  if pipeline.classifier is not None else 0)
-    if backend is not None and num_flows > 0:
+    if (backend is not None and backend.residual_row is not None
+            and num_flows > 0):
         num_flows -= 1  # the residual accounting row is not a flow
     summary: dict[str, object] = {
         "run": pipeline.label,
@@ -330,14 +390,18 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         "mean_elephants_per_slot": series.mean_count,
         "mean_traffic_fraction": series.mean_fraction,
     }
+    if args.shards > 1:
+        summary["shards"] = args.shards
     if backend is not None:
         summary.update({
             "capacity": backend.capacity,
             "tracked_flows": backend.tracked_flows,
             "peak_tracked_flows": backend.peak_tracked,
             "population_rows": backend.num_rows,
-            "mean_residual_fraction": series.mean_residual_fraction,
         })
+        if backend.residual_row is not None:
+            summary["mean_residual_fraction"] = \
+                series.mean_residual_fraction
     if aggregator is not None:
         summary.update({
             "packets_seen": aggregator.stats.packets_seen,
@@ -346,11 +410,47 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             "packets_skipped": aggregator.stats.packets_skipped,
             "bytes_matched": aggregator.stats.bytes_matched,
         })
-    if args.json:
-        print(json.dumps(summary, indent=2))
-        return 0
-    rows = [[key, value] for key, value in summary.items()]
-    print(format_table(["metric", "value"], rows, title="stream summary"))
+    if args.summary_out is not None:
+        summary["summary_out"] = args.summary_out
+    _print_summary(summary, args.json, "stream summary")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    scheme, feature = _scheme_and_feature(args)
+    runs = [load_summaries(path) for path in args.summaries]
+    collector = Collector(
+        runs, k=args.k, scheme=scheme, feature=feature,
+        config=EngineConfig(alpha=args.alpha, beta=args.beta,
+                            window=args.window),
+    )
+    slots = 0
+    for event in collector.events():
+        slots += 1
+        if args.quiet or args.json:
+            continue
+        _print_slot_line(event)
+    if slots == 0:
+        print("no slots in summaries", file=sys.stderr)
+        return 1
+    series = collector.series()
+    pipeline = collector.pipeline()
+    num_flows = (pipeline.classifier.num_flows
+                 if pipeline.classifier is not None else 0)
+    if num_flows > 0:
+        num_flows -= 1  # merged frames always carry a residual row
+    summary: dict[str, object] = {
+        "run": pipeline.label,
+        "monitors": collector.num_monitors,
+        "num_slots": slots,
+        "num_flows": num_flows,
+        "k": args.k,
+        "merged_bytes": sum(s.total_bytes for s in collector.merged),
+        "mean_elephants_per_slot": series.mean_count,
+        "mean_traffic_fraction": series.mean_fraction,
+        "mean_residual_fraction": series.mean_residual_fraction,
+    }
+    _print_summary(summary, args.json, "merge summary")
     return 0
 
 
@@ -376,6 +476,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "classify": _cmd_classify,
         "stream": _cmd_stream,
+        "merge": _cmd_merge,
         "figures": _cmd_figures,
     }
     try:

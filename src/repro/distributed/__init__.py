@@ -1,0 +1,33 @@
+"""Distributed aggregation: monitors → summaries → merge → classify.
+
+The paper's per-link classification assumes one monitor sees all
+traffic. This package is the multi-monitor path: each monitor reduces
+its slice of a link to per-slot :class:`SlotSummary` records (a
+mergeable candidate table plus a byte-conserving residual), a
+:class:`Collector` sums the summaries prefix-wise, re-truncates to a
+capacity, and classifies the merged stream through the ordinary online
+pipeline. Together with
+:class:`~repro.pipeline.sharded.ShardedAggregation` (the in-process
+flavour of the same split) this is the dataflow that scales one link's
+elephants across N processes and N taps.
+"""
+
+from repro.distributed.collector import Collector, MergedSlotSource
+from repro.distributed.merge import merge_runs, merge_summaries
+from repro.distributed.partition import StridedPacketSource
+from repro.distributed.summary import (
+    SlotSummary,
+    load_summaries,
+    save_summaries,
+)
+
+__all__ = [
+    "Collector",
+    "MergedSlotSource",
+    "SlotSummary",
+    "StridedPacketSource",
+    "load_summaries",
+    "merge_runs",
+    "merge_summaries",
+    "save_summaries",
+]

@@ -1,0 +1,137 @@
+"""The collector: merged monitor summaries → online classification.
+
+A fleet of monitors each sees part of a link (one shard of its flows,
+one tap in a load-balanced bundle, one link of a multi-link site) and
+exports per-slot :class:`~repro.distributed.summary.SlotSummary`
+records. The collector merges those into one link-wide slot stream and
+feeds it to the *existing*
+:class:`~repro.core.streaming.OnlineClassifier` through the standard
+:class:`~repro.pipeline.engine.StreamingPipeline` — classification
+neither knows nor cares that the slots were stitched together.
+
+This is the partial-information regime: a merged, re-truncated summary
+under-represents small flows, so every merged frame carries residual
+row 0 (conserving the unseen mass) and the classifier excludes it from
+elephant verdicts, exactly as it does for single-monitor sketch runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.analysis.elephants import ElephantSeries
+from repro.core.engine import EngineConfig, Feature, Scheme
+from repro.core.result import ClassificationResult
+from repro.distributed.merge import merge_runs
+from repro.distributed.summary import SlotSummary
+from repro.errors import ClassificationError
+from repro.net.prefix import Prefix
+from repro.pipeline.backends import RESIDUAL_PREFIX
+from repro.pipeline.engine import StreamEvent, StreamingPipeline, run_stream
+from repro.pipeline.sources import SlotFrame
+
+
+class MergedSlotSource:
+    """A slot source over merged summaries, with a live population.
+
+    Rows follow the backend convention: residual row 0 always exists,
+    prefixes earn permanent rows in first-appearance order, and each
+    frame's rates vector covers the population discovered so far. A
+    tracked default route (``0.0.0.0/0``) is folded into the residual
+    row rather than duplicated.
+    """
+
+    def __init__(self, merged: Sequence[SlotSummary]) -> None:
+        merged = list(merged)
+        if not merged:
+            raise ClassificationError("no merged slots to stream")
+        self.merged = merged
+        self.slot_seconds = merged[0].slot_seconds
+        self.residual_row = 0
+        self.prefixes: list[Prefix] = [RESIDUAL_PREFIX]
+        self._row_of: dict[Prefix, int] = {}
+
+    def slots(self) -> Iterator[SlotFrame]:
+        scale = 8.0 / self.slot_seconds
+        for summary in self.merged:
+            residual = summary.residual_bytes
+            for prefix in summary.prefixes:
+                if (prefix not in self._row_of
+                        and prefix != RESIDUAL_PREFIX):
+                    self._row_of[prefix] = len(self.prefixes)
+                    self.prefixes.append(prefix)
+            rates = np.zeros(len(self.prefixes))
+            for prefix, volume in zip(summary.prefixes,
+                                      summary.volumes.tolist()):
+                if prefix == RESIDUAL_PREFIX:
+                    residual += volume
+                    continue
+                rates[self._row_of[prefix]] += volume
+            rates[0] = residual
+            rates *= scale
+            yield SlotFrame(
+                slot=summary.slot,
+                start=summary.start,
+                rates=rates,
+                population=self.prefixes,
+                residual_row=self.residual_row,
+            )
+
+
+class Collector:
+    """Merge monitor runs and classify the stitched link.
+
+    ``runs`` is one sequence of slot summaries per monitor; ``k``
+    bounds the merged table per slot (the multi-monitor analogue of a
+    sketch capacity). The collector merges eagerly — merge errors
+    surface at construction, not mid-stream.
+    """
+
+    def __init__(self, runs: Sequence[Sequence[SlotSummary]],
+                 k: int | None = None,
+                 scheme: Scheme = Scheme.CONSTANT_LOAD,
+                 feature: Feature = Feature.LATENT_HEAT,
+                 config: EngineConfig | None = None) -> None:
+        self.merged = merge_runs(runs, k=k)
+        self.num_monitors = len(runs)
+        self.k = k
+        self.scheme = scheme
+        self.feature = feature
+        self.config = config or EngineConfig()
+        self._pipeline: StreamingPipeline | None = None
+
+    @property
+    def num_slots(self) -> int:
+        """Merged slots awaiting (or consumed by) classification."""
+        return len(self.merged)
+
+    def source(self) -> MergedSlotSource:
+        """A fresh slot source over the merged summaries."""
+        return MergedSlotSource(self.merged)
+
+    def pipeline(self) -> StreamingPipeline:
+        """The classifying pipeline (created on first use)."""
+        if self._pipeline is None:
+            self._pipeline = StreamingPipeline(
+                self.source(), scheme=self.scheme, feature=self.feature,
+                config=self.config,
+            )
+        return self._pipeline
+
+    def events(self) -> Iterator[StreamEvent]:
+        """Classify the merged slots, one event per slot."""
+        return self.pipeline().events()
+
+    def series(self) -> ElephantSeries:
+        """The per-slot elephant series over the events consumed."""
+        return self.pipeline().series()
+
+    def classify(self) -> tuple[ClassificationResult, ElephantSeries]:
+        """Run the merged stream end to end (independent of events())."""
+        return run_stream(self.source(), scheme=self.scheme,
+                          feature=self.feature, config=self.config)
+
+
+__all__ = ["Collector", "MergedSlotSource"]

@@ -1,0 +1,111 @@
+"""Merging per-monitor slot summaries into one link-wide view.
+
+Space-Saving and Misra–Gries tables merge by summing counts key-wise
+and re-truncating to the capacity — the merged error stays bounded by
+the sum of the parts' error bounds. The same recipe applies one
+altitude up, to the per-slot byte summaries the monitors export: sum
+volumes per prefix, add the residuals, and (optionally) cut the table
+back to ``k`` entries with the cut mass spilling into the residual, so
+the merged slot still conserves every byte any monitor saw.
+
+:func:`merge_summaries` merges one slot across monitors;
+:func:`merge_runs` aligns whole monitor runs slot by slot, tolerating
+monitors that missed slots (their contribution is simply absent).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributed.summary import SlotSummary
+from repro.errors import ClassificationError
+from repro.net.prefix import Prefix
+
+
+def merge_summaries(summaries: Sequence[SlotSummary],
+                    k: int | None = None,
+                    slot: int | None = None) -> SlotSummary:
+    """Merge one slot's summaries from several monitors.
+
+    All inputs must cover the same interval — equal ``start`` and
+    ``slot_seconds``. Monitor-local slot *numbers* may disagree (each
+    monitor counts from its own first packet); pass ``slot`` to give
+    the merged summary a canonical number, else the first input's is
+    kept. Volumes are summed per prefix (first-seen order, so merging
+    is deterministic in the input order), residuals are summed, and
+    ``k`` re-truncates the merged table with the overflow conserved in
+    the residual.
+    """
+    summaries = list(summaries)
+    if not summaries:
+        raise ClassificationError("no summaries to merge")
+    head = summaries[0]
+    for summary in summaries[1:]:
+        if (summary.start != head.start
+                or summary.slot_seconds != head.slot_seconds):
+            raise ClassificationError(
+                f"summary interval (start {summary.start}, grid "
+                f"{summary.slot_seconds}s) does not align with "
+                f"(start {head.start}, grid {head.slot_seconds}s); "
+                "monitors must share the slot grid"
+            )
+    totals: dict[Prefix, float] = {}
+    residual = 0.0
+    for summary in summaries:
+        residual += summary.residual_bytes
+        for prefix, volume in zip(summary.prefixes,
+                                  summary.volumes.tolist()):
+            totals[prefix] = totals.get(prefix, 0.0) + volume
+    merged = SlotSummary(
+        slot=head.slot if slot is None else slot,
+        start=head.start,
+        slot_seconds=head.slot_seconds,
+        prefixes=tuple(totals),
+        volumes=np.fromiter(totals.values(), dtype=np.float64,
+                            count=len(totals)),
+        residual_bytes=residual,
+        monitor=f"merged[{len(summaries)}]",
+    )
+    if k is not None:
+        merged = merged.truncated(k)
+    return merged
+
+
+def merge_runs(runs: Sequence[Sequence[SlotSummary]],
+               k: int | None = None) -> list[SlotSummary]:
+    """Align and merge whole monitor runs, slot by slot.
+
+    Alignment is by *absolute* position on the slot grid (the slot's
+    start time), not by each monitor's local slot counter — a monitor
+    that came up three slots late still merges against the interval it
+    actually measured. Returns merged summaries for the union of
+    intervals any monitor covered, in time order, renumbered on the
+    shared grid from the earliest merged interval. Monitors absent
+    from an interval contribute nothing to it; monitors must share the
+    slot grid.
+    """
+    flat = [summary for run in runs for summary in run]
+    if not flat:
+        raise ClassificationError("no summaries to merge")
+    grids = {summary.slot_seconds for summary in flat}
+    if len(grids) > 1:
+        raise ClassificationError(
+            f"monitor runs mix slot grids {sorted(grids)}; "
+            "re-slot before merging"
+        )
+    seconds = flat[0].slot_seconds
+    by_cell: dict[int, list[SlotSummary]] = {}
+    for summary in flat:
+        # starts are grid-aligned by construction; round() guards the
+        # float division, it does not re-bin off-grid starts (those
+        # fail the exact start check inside merge_summaries)
+        cell = int(round(summary.start / seconds))
+        by_cell.setdefault(cell, []).append(summary)
+    first_cell = min(by_cell)
+    return [merge_summaries(by_cell[cell], k=k, slot=cell - first_cell)
+            for cell in sorted(by_cell)]
+
+
+__all__ = ["merge_runs", "merge_summaries"]

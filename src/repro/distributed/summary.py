@@ -1,0 +1,353 @@
+"""Per-slot flow summaries: the wire format between monitors and a
+collector.
+
+A monitor watching one tap of a link reduces each measurement slot to a
+:class:`SlotSummary` — the candidate table it tracked (prefix → bytes)
+plus one residual byte count conserving everything it saw but did not
+track. Summaries are what crosses the network in a multi-monitor
+deployment, so they serialize two ways:
+
+- :meth:`SlotSummary.to_bytes` / :meth:`SlotSummary.from_bytes` — a
+  compact, versioned, big-endian binary record (one slot per message),
+  the shape a collector socket would speak;
+- :func:`save_summaries` / :func:`load_summaries` — a whole run (one
+  monitor, many slots) in a single ``.npz`` artefact, the shape
+  ``repro stream --summary-out`` writes and ``repro merge`` reads.
+
+Byte counts are carried as float64 because the aggregation path
+accumulates float byte volumes; totals are conserved, not re-quantised.
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import ClassificationError, ReproError, SummaryFormatError
+from repro.net.prefix import Prefix
+from repro.pipeline.backends import RESIDUAL_PREFIX
+
+if TYPE_CHECKING:
+    from repro.pipeline.sources import SlotFrame
+
+#: Binary wire-format magic and version.
+MAGIC = b"RSUM"
+VERSION = 1
+
+#: Header layout: magic, version, slot, start, slot_seconds,
+#: residual_bytes, entry count, monitor-name byte length.
+_HEADER = struct.Struct(">4sHqdddIH")
+
+
+@dataclass(frozen=True)
+class SlotSummary:
+    """One monitor's candidate table for one measurement slot.
+
+    ``prefixes[i]`` carried ``volumes[i]`` bytes during the slot;
+    ``residual_bytes`` conserves untracked (or truncated-away) traffic.
+    ``monitor`` names the producing tap, purely for reports.
+    """
+
+    slot: int
+    start: float
+    slot_seconds: float
+    prefixes: tuple[Prefix, ...]
+    volumes: np.ndarray
+    residual_bytes: float = 0.0
+    monitor: str = ""
+
+    def __post_init__(self) -> None:
+        volumes = np.asarray(self.volumes, dtype=np.float64)
+        object.__setattr__(self, "volumes", volumes)
+        object.__setattr__(self, "prefixes", tuple(self.prefixes))
+        if self.slot_seconds <= 0:
+            raise ClassificationError("slot_seconds must be positive")
+        if len(self.prefixes) != volumes.size:
+            raise ClassificationError(
+                f"{len(self.prefixes)} prefixes for {volumes.size} "
+                "volume entries"
+            )
+        if len(set(self.prefixes)) != len(self.prefixes):
+            raise ClassificationError(
+                "summary entries must be duplicate-free"
+            )
+        if self.residual_bytes < 0 or (volumes < 0).any():
+            raise ClassificationError(
+                "byte volumes cannot be negative"
+            )
+
+    @property
+    def num_entries(self) -> int:
+        """Tracked prefixes in this summary."""
+        return len(self.prefixes)
+
+    @property
+    def total_bytes(self) -> float:
+        """All traffic this summary accounts for, residual included."""
+        return float(self.volumes.sum()) + self.residual_bytes
+
+    @classmethod
+    def from_frame(cls, frame: "SlotFrame", slot_seconds: float,
+                   monitor: str = "",
+                   top_k: int | None = None) -> "SlotSummary":
+        """Reduce a pipeline slot frame to a summary.
+
+        Rows with zero bytes are dropped (a summary is a candidate
+        table, not a population history); the frame's residual row, if
+        any, lands in ``residual_bytes``. ``top_k`` re-truncates on the
+        way out, spilling the cut entries into the residual.
+        """
+        volumes = frame.rates * slot_seconds / 8.0
+        residual = 0.0
+        rows = np.flatnonzero(volumes > 0)
+        if frame.residual_row is not None:
+            if frame.residual_row < volumes.size:
+                residual = float(volumes[frame.residual_row])
+            rows = rows[rows != frame.residual_row]
+        summary = cls(
+            slot=frame.slot,
+            start=frame.start,
+            slot_seconds=slot_seconds,
+            prefixes=tuple(frame.population[row] for row in rows),
+            volumes=volumes[rows],
+            residual_bytes=residual,
+            monitor=monitor,
+        )
+        if top_k is not None:
+            summary = summary.truncated(top_k)
+        return summary
+
+    def truncated(self, k: int) -> "SlotSummary":
+        """The top-``k`` entries by volume; the rest joins the residual.
+
+        Ties break by row order (stable sort), so truncation is
+        deterministic. Total bytes are conserved exactly.
+        """
+        if k < 0:
+            raise ClassificationError("k must be non-negative")
+        if self.num_entries <= k:
+            return self
+        order = np.argsort(-self.volumes, kind="stable")
+        keep = np.sort(order[:k])
+        spilled = float(self.volumes.sum() - self.volumes[keep].sum())
+        return SlotSummary(
+            slot=self.slot,
+            start=self.start,
+            slot_seconds=self.slot_seconds,
+            prefixes=tuple(self.prefixes[i] for i in keep.tolist()),
+            volumes=self.volumes[keep],
+            residual_bytes=self.residual_bytes + spilled,
+            monitor=self.monitor,
+        )
+
+    # ------------------------------------------------------------------
+    # binary wire format
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the compact big-endian wire record."""
+        monitor = self.monitor.encode("utf-8")
+        if len(monitor) > 0xFFFF:
+            raise ClassificationError("monitor name too long to encode")
+        header = _HEADER.pack(
+            MAGIC, VERSION, self.slot, self.start, self.slot_seconds,
+            self.residual_bytes, self.num_entries, len(monitor),
+        )
+        networks = np.array(
+            [prefix.network for prefix in self.prefixes], dtype=">u4"
+        )
+        lengths = np.array(
+            [prefix.length for prefix in self.prefixes], dtype=np.uint8
+        )
+        volumes = self.volumes.astype(">f8")
+        return b"".join((
+            header, monitor, networks.tobytes(), lengths.tobytes(),
+            volumes.tobytes(),
+        ))
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "SlotSummary":
+        """Parse one wire record produced by :meth:`to_bytes`."""
+        if len(payload) < _HEADER.size:
+            raise SummaryFormatError("summary record truncated")
+        (magic, version, slot, start, slot_seconds, residual, count,
+         monitor_len) = _HEADER.unpack_from(payload)
+        if magic != MAGIC:
+            raise SummaryFormatError(
+                f"bad summary magic {magic!r}; expected {MAGIC!r}"
+            )
+        if version != VERSION:
+            raise SummaryFormatError(
+                f"summary version {version} unsupported (speaks "
+                f"{VERSION})"
+            )
+        offset = _HEADER.size
+        expected = offset + monitor_len + count * (4 + 1 + 8)
+        if len(payload) != expected:
+            raise SummaryFormatError(
+                f"summary record is {len(payload)} bytes; header "
+                f"promises {expected}"
+            )
+        monitor = payload[offset:offset + monitor_len].decode("utf-8")
+        offset += monitor_len
+        networks = np.frombuffer(payload, dtype=">u4", count=count,
+                                 offset=offset)
+        offset += 4 * count
+        lengths = np.frombuffer(payload, dtype=np.uint8, count=count,
+                                offset=offset)
+        offset += count
+        volumes = np.frombuffer(payload, dtype=">f8", count=count,
+                                offset=offset)
+        try:
+            prefixes = tuple(
+                Prefix(int(network), int(length))
+                for network, length in zip(networks.tolist(),
+                                           lengths.tolist())
+            )
+            return cls(
+                slot=slot, start=start, slot_seconds=slot_seconds,
+                prefixes=prefixes,
+                volumes=volumes.astype(np.float64),
+                residual_bytes=residual, monitor=monitor,
+            )
+        except ReproError as exc:
+            raise SummaryFormatError(
+                f"summary record carries invalid data: {exc}"
+            ) from exc
+
+
+def save_summaries(path: str, summaries: Sequence[SlotSummary]) -> None:
+    """Write one monitor's per-slot summaries as a single ``.npz``.
+
+    Slots must be in order and share one grid (``slot_seconds``); the
+    arrays are stored flattened with per-slot entry counts, which keeps
+    the artefact a handful of numpy arrays however many slots ran.
+    """
+    summaries = list(summaries)
+    if not summaries:
+        raise ClassificationError("no summaries to save")
+    grids = {summary.slot_seconds for summary in summaries}
+    if len(grids) > 1:
+        raise ClassificationError(
+            "summaries mix slot grids; one file holds one monitor run"
+        )
+    slots = [summary.slot for summary in summaries]
+    if sorted(slots) != slots or len(set(slots)) != len(slots):
+        raise ClassificationError(
+            "summaries must be slot-ordered and duplicate-free"
+        )
+    counts = np.array([summary.num_entries for summary in summaries],
+                      dtype=np.int64)
+    networks = np.array(
+        [prefix.network for summary in summaries
+         for prefix in summary.prefixes],
+        dtype=np.uint32,
+    )
+    lengths = np.array(
+        [prefix.length for summary in summaries
+         for prefix in summary.prefixes],
+        dtype=np.uint8,
+    )
+    volumes = (np.concatenate([summary.volumes for summary in summaries])
+               if networks.size else np.zeros(0))
+    try:
+        _write_npz(path, summaries, counts, networks, lengths, volumes)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot write summaries {path!r}: {exc}"
+        ) from exc
+
+
+def _write_npz(path: str, summaries: list[SlotSummary],
+               counts: np.ndarray, networks: np.ndarray,
+               lengths: np.ndarray, volumes: np.ndarray) -> None:
+    # savez on an open handle writes to exactly the path given; on a
+    # bare string numpy silently appends ".npz", and the caller would
+    # then report a file that does not exist
+    with open(path, "wb") as stream:
+        _savez(stream, summaries, counts, networks, lengths, volumes)
+
+
+def _savez(stream, summaries: list[SlotSummary], counts: np.ndarray,
+           networks: np.ndarray, lengths: np.ndarray,
+           volumes: np.ndarray) -> None:
+    np.savez_compressed(
+        stream,
+        version=np.int64(VERSION),
+        slot_seconds=np.float64(summaries[0].slot_seconds),
+        monitor=np.str_(summaries[0].monitor),
+        slots=np.array([summary.slot for summary in summaries],
+                       dtype=np.int64),
+        starts=np.array([summary.start for summary in summaries]),
+        residuals=np.array([summary.residual_bytes
+                            for summary in summaries]),
+        counts=counts,
+        networks=networks,
+        lengths=lengths,
+        volumes=volumes,
+    )
+
+
+def load_summaries(path: str) -> list[SlotSummary]:
+    """Load a monitor run written by :func:`save_summaries`."""
+    try:
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise SummaryFormatError(
+            f"cannot load summaries {path!r}: {exc}"
+        ) from exc
+    try:
+        if int(data["version"]) != VERSION:
+            raise SummaryFormatError(
+                f"summary file version {int(data['version'])} "
+                f"unsupported (speaks {VERSION})"
+            )
+        slot_seconds = float(data["slot_seconds"])
+        monitor = str(data["monitor"])
+        counts = data["counts"].astype(np.int64)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        if bounds[-1] != data["networks"].size:
+            raise SummaryFormatError(
+                "summary file entry counts disagree with its tables"
+            )
+        summaries = []
+        for index in range(counts.size):
+            lo, hi = int(bounds[index]), int(bounds[index + 1])
+            prefixes = tuple(
+                Prefix(int(network), int(length))
+                for network, length in zip(
+                    data["networks"][lo:hi].tolist(),
+                    data["lengths"][lo:hi].tolist(),
+                )
+            )
+            summaries.append(SlotSummary(
+                slot=int(data["slots"][index]),
+                start=float(data["starts"][index]),
+                slot_seconds=slot_seconds,
+                prefixes=prefixes,
+                volumes=data["volumes"][lo:hi],
+                residual_bytes=float(data["residuals"][index]),
+                monitor=monitor,
+            ))
+        return summaries
+    except SummaryFormatError:
+        raise
+    except (KeyError, IndexError, ValueError, ReproError) as exc:
+        raise SummaryFormatError(
+            f"summary file {path!r} is malformed: {exc}"
+        ) from exc
+
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "RESIDUAL_PREFIX",
+    "SlotSummary",
+    "load_summaries",
+    "save_summaries",
+]

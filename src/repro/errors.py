@@ -48,6 +48,10 @@ class ClassificationError(ReproError):
     """The classification engine was misconfigured or fed inconsistent data."""
 
 
+class SummaryFormatError(ReproError):
+    """A serialized slot summary is malformed or version-incompatible."""
+
+
 class WorkloadError(ReproError):
     """A synthetic-workload model was configured with invalid parameters."""
 

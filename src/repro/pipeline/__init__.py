@@ -36,6 +36,7 @@ from repro.pipeline.engine import (
     classify_matrix_streaming,
     run_stream,
 )
+from repro.pipeline.sharded import ShardedAggregation, shard_of
 from repro.pipeline.sources import (
     CsvPacketSource,
     MatrixSlotSource,
@@ -57,6 +58,8 @@ __all__ = [
     "MisraGriesAggregation",
     "RESIDUAL_PREFIX",
     "SampleHoldAggregation",
+    "ShardedAggregation",
+    "shard_of",
     "SketchAggregation",
     "SketchSlotSource",
     "SpaceSavingAggregation",

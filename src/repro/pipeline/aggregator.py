@@ -74,23 +74,38 @@ class StreamingAggregator:
     ``backend`` selects the flow-table strategy: an
     :class:`~repro.pipeline.backends.AggregationBackend` instance, a
     backend name (with ``capacity`` for the sketch backends), or
-    ``None`` for the exact table.
+    ``None`` for the exact table. ``shards`` partitions a named backend
+    across that many inner tables
+    (:class:`~repro.pipeline.sharded.ShardedAggregation`), with
+    ``capacity`` as the total bound.
     """
 
     def __init__(self, resolver: PrefixResolver | RoutingTable,
                  slot_seconds: float = DEFAULT_SLOT_SECONDS,
                  start: float | None = None,
                  backend: AggregationBackend | str | None = None,
-                 capacity: int | None = None) -> None:
+                 capacity: int | None = None,
+                 shards: int = 1) -> None:
         if slot_seconds <= 0:
             raise ClassificationError("slot_seconds must be positive")
         if isinstance(resolver, RoutingTable):
             resolver = CompiledLpm.from_table(resolver)
         self.resolver = resolver
+        if backend is None and shards > 1:
+            backend = "exact"
         if backend is None:
             backend = ExactAggregation()
         elif isinstance(backend, str):
-            backend = make_backend(backend, capacity=capacity)
+            backend = make_backend(backend, capacity=capacity,
+                                   shards=shards)
+        elif shards > 1:
+            # an instance backend cannot be re-partitioned here; going
+            # on with one table would silently drop the caller's
+            # sharding request
+            raise ClassificationError(
+                "shards only applies to backends built by name; pass "
+                "make_backend(name, capacity=..., shards=...) instead"
+            )
         self.backend = backend
         self.slot_seconds = float(slot_seconds)
         self.start = start

@@ -79,6 +79,8 @@ class AggregationBackend(abc.ABC):
     name: str = "backend"
     #: Row absorbing untracked traffic (``None`` for exact backends).
     residual_row: int | None = None
+    #: Tracked-flow bound (``None`` for unbounded/exact backends).
+    capacity: int | None = None
 
     def __init__(self) -> None:
         self.prefixes: list[Prefix] = []
@@ -106,6 +108,17 @@ class AggregationBackend(abc.ABC):
     def flow_records(self) -> list[FlowRecord]:
         """Per-row accounting records (row order, residual included)."""
         return list(self._records)
+
+    def row_keys(self) -> list[int]:
+        """Flow keys in row order, excluding any residual row.
+
+        ``row_keys()[i]`` is the integer flow key that owns row
+        ``i + 1`` when the backend has a residual row, else row ``i``.
+        Rows are assigned sequentially, so the list only ever grows;
+        :class:`~repro.pipeline.sharded.ShardedAggregation` relies on
+        this to map shard-local rows onto its merged population.
+        """
+        return list(self._row_of)
 
     @property
     def num_rows(self) -> int:
@@ -486,13 +499,50 @@ BACKEND_NAMES = ("exact", "space-saving", "misra-gries", "count-min",
 
 
 def make_backend(name: str, capacity: int | None = None,
-                 seed: int = 0, **kwargs) -> AggregationBackend:
+                 seed: int = 0, shards: int = 1,
+                 **kwargs) -> AggregationBackend:
     """Build a backend by CLI name.
 
     ``exact`` takes no capacity; every sketch backend requires one.
     Extra keyword arguments go to the backend constructor (for example
     ``sampling_probability`` for ``sample-hold``).
+
+    ``shards > 1`` wraps ``shards`` inner backends of the same spec in
+    a :class:`~repro.pipeline.sharded.ShardedAggregation`. ``capacity``
+    stays the *total* tracked-flow bound: each shard gets
+    ``ceil(capacity / shards)`` entries, so a sharded run never holds
+    more than one extra entry per shard beyond the requested K.
     """
+    if shards < 1:
+        raise ClassificationError("shards must be >= 1")
+    if shards > 1:
+        # imported here: sharded sits above this module
+        from repro.pipeline.sharded import ShardedAggregation
+        if name == "exact":
+            if capacity is not None:
+                raise ClassificationError(
+                    "the exact backend tracks every flow; --capacity "
+                    "only applies to sketch backends"
+                )
+            inners: list[AggregationBackend] = [
+                ExactAggregation(**kwargs) for _ in range(shards)
+            ]
+        else:
+            if capacity is None:
+                raise ClassificationError(
+                    f"backend {name!r} needs --capacity or "
+                    "--memory-budget"
+                )
+            if capacity < 1:
+                raise ClassificationError("capacity must be >= 1")
+            per_shard = -(-capacity // shards)
+            # distinct seeds decorrelate the hash-based shards' errors
+            inners = [
+                make_backend(name, capacity=per_shard, seed=seed + i,
+                             **kwargs)
+                for i in range(shards)
+            ]
+        return ShardedAggregation(inners)
     if name == "exact":
         if capacity is not None:
             raise ClassificationError(
@@ -540,25 +590,34 @@ def parse_memory_budget(text: str) -> int:
     return value * multiplier
 
 
-def capacity_for_budget(name: str, budget_bytes: int) -> int:
+def capacity_for_budget(name: str, budget_bytes: int,
+                        shards: int = 1) -> int:
     """Convert a byte budget into a tracked-flow capacity for ``name``.
 
     Uses the coarse :data:`TRACKED_ENTRY_BYTES` cost model; Count-Min
     additionally pays for its counter table, which scales with capacity
     through the default width factor.
+
+    ``shards`` sizes a sharded deployment: the budget buys ``shards``
+    tables of ``K / shards`` entries each, and the returned capacity is
+    the total across shards — so a budgeted sharded run occupies the
+    same memory as a single-table run, not ``shards`` times it.
     """
     if name == "exact":
         raise ClassificationError(
             "the exact backend has no memory bound to budget; "
             "pick a sketch backend"
         )
+    if shards < 1:
+        raise ClassificationError("shards must be >= 1")
     per_entry = TRACKED_ENTRY_BYTES
     if name == "count-min":
         per_entry += _CM_WIDTH_FACTOR * _CM_DEPTH * 8
-    capacity = budget_bytes // per_entry
-    if capacity < 1:
+    per_shard = (budget_bytes // shards) // per_entry
+    if per_shard < 1:
         raise ClassificationError(
-            f"memory budget {budget_bytes} B is below one tracked entry "
-            f"(~{per_entry} B) for backend {name!r}"
+            f"memory budget {budget_bytes} B across {shards} shard(s) "
+            f"is below one tracked entry (~{per_entry} B) for backend "
+            f"{name!r}"
         )
-    return int(capacity)
+    return int(per_shard * shards)

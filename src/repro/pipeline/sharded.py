@@ -1,0 +1,219 @@
+"""Sharded aggregation: one link, N flow tables, merged at slot close.
+
+The backends in :mod:`repro.pipeline.backends` assume one monitor sees
+all of a link's traffic. :class:`ShardedAggregation` drops that
+assumption: flow keys are hash-partitioned across ``N`` inner backends
+(exact or sketch — the structures are mergeable, per Misra–Gries 1982
+and the Space-Saving merge literature), each shard accounts its share
+independently, and the per-shard candidate tables are merged into one
+population when the slot closes. This is the in-process rehearsal for
+multi-process ingestion: each shard touches a disjoint key set, so the
+inner backends could live in separate processes (or separate monitors)
+and only their slot-close summaries need to meet.
+
+Semantics by inner-backend family:
+
+- **exact shards** reproduce single-backend exact aggregation *exactly*
+  — per slot, per row, byte for byte, including row numbering (global
+  first-traffic order) — because every key's bytes land in exactly one
+  shard and the merge adds each shard-local sum to a fresh zero. The
+  property suite asserts this.
+- **sketch shards** bound tracked state at the *sum* of the shard
+  capacities. Untracked bytes fall into each shard's residual and the
+  merge conserves them in the shared residual row 0, so merged slots
+  still sum to the traffic that arrived.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ClassificationError
+from repro.flows.records import FlowRecord
+from repro.pipeline.backends import (
+    RESIDUAL_PREFIX,
+    AggregationBackend,
+    PrefixOf,
+)
+
+#: Fibonacci-hash multiplier (2**64 / golden ratio), the classic
+#: avalanche step for sequential integer keys — resolver rows are
+#: sequential, so a plain modulo would stripe, not shard.
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+_HASH_SHIFT = np.uint64(33)
+
+
+def shard_of(keys: np.ndarray, num_shards: int) -> np.ndarray:
+    """Deterministic shard index per flow key (Fibonacci hashing)."""
+    if num_shards < 1:
+        raise ClassificationError("num_shards must be >= 1")
+    hashed = keys.astype(np.uint64) * _HASH_MULTIPLIER
+    return ((hashed >> _HASH_SHIFT) % np.uint64(num_shards)).astype(
+        np.int64
+    )
+
+
+class ShardedAggregation(AggregationBackend):
+    """Hash-partition one link's flows across N inner backends.
+
+    The outer object satisfies the full
+    :class:`~repro.pipeline.backends.AggregationBackend` contract — a
+    live append-only population, permanent rows, a residual row when
+    the inners are sketches — while delegating all per-flow counting to
+    the shards. ``accumulate`` routes each key to its home shard (same
+    key, same shard, always); ``close_slot`` closes every shard and
+    folds the shard-local vectors into the merged population.
+
+    Inner backends must be homogeneous (all exact or all sketch) and
+    fresh; build them through
+    :func:`~repro.pipeline.backends.make_backend` with ``shards=N``.
+    """
+
+    name = "sharded"
+
+    def __init__(self, backends: Sequence[AggregationBackend]) -> None:
+        shards = list(backends)
+        if not shards:
+            raise ClassificationError(
+                "sharded aggregation needs at least one inner backend"
+            )
+        kinds = {shard.residual_row is not None for shard in shards}
+        if len(kinds) > 1:
+            raise ClassificationError(
+                "shard backends must be homogeneous: all exact or all "
+                "sketch"
+            )
+        for shard in shards:
+            if shard.slots_closed or shard.peak_tracked:
+                raise ClassificationError(
+                    "shard backends must be fresh; aggregation "
+                    "backends are single-use"
+                )
+            if isinstance(shard, ShardedAggregation):
+                raise ClassificationError(
+                    "sharded backends do not nest; pass the flat list "
+                    "of inner backends instead"
+                )
+        super().__init__()
+        self.shards = shards
+        self.num_shards = len(shards)
+        self._sketched = shards[0].residual_row is not None
+        #: Per shard: outer row of inner row ``offset + i`` (the
+        #: residual row, when present, is handled separately).
+        self._shard_rows: list[list[int]] = [[] for _ in shards]
+        if self._sketched:
+            self.residual_row = 0
+            self.prefixes = [RESIDUAL_PREFIX]
+            self._records = [FlowRecord(RESIDUAL_PREFIX)]
+            self.capacity = sum(
+                shard.capacity for shard in shards
+                if shard.capacity is not None
+            )
+        else:
+            self.residual_row = None
+            self.capacity = None
+        self.name = f"sharded-{shards[0].name}"
+
+    # ------------------------------------------------------------------
+    # AggregationBackend interface
+    # ------------------------------------------------------------------
+
+    @property
+    def tracked_flows(self) -> int:
+        return sum(shard.tracked_flows for shard in self.shards)
+
+    def accumulate(self, keys: np.ndarray, sizes: np.ndarray,
+                   timestamps: np.ndarray, prefix_of: PrefixOf) -> None:
+        if not self._sketched:
+            # Exact shards: the outer population must number rows in
+            # global first-traffic order (interleaved across shards) to
+            # stay byte-identical with a single exact backend.
+            self._assign_rows(keys, prefix_of)
+        homes = shard_of(keys, self.num_shards)
+        for index, shard in enumerate(self.shards):
+            mine = homes == index
+            if mine.any():
+                shard.accumulate(keys[mine], sizes[mine],
+                                 timestamps[mine], prefix_of)
+        self.peak_tracked = max(self.peak_tracked, self.tracked_flows)
+
+    def close_slot(self) -> np.ndarray:
+        vectors = [shard.close_slot() for shard in self.shards]
+        for index in range(self.num_shards):
+            self._extend_map(index)
+        merged = np.zeros(len(self.prefixes))
+        for index, vector in enumerate(vectors):
+            if vector.size == 0:
+                continue
+            if self._sketched:
+                merged[0] += vector[0]
+                vector = vector[1:]
+            rows = np.asarray(self._shard_rows[index][:vector.size],
+                              dtype=np.int64)
+            if rows.size:
+                # keys are disjoint across shards, but the residual fold
+                # above already shows why add-at is the safe idiom here
+                np.add.at(merged, rows, vector)
+        self.slots_closed += 1
+        return merged
+
+    def flow_records(self) -> list[FlowRecord]:
+        for index in range(self.num_shards):
+            self._extend_map(index)
+        records = list(self._records)
+        if self._sketched:
+            merged = FlowRecord(RESIDUAL_PREFIX)
+            for shard in self.shards:
+                inner = shard.flow_records()[0]
+                if inner.packets or inner.bytes_total:
+                    merged.add_group(inner.packets, inner.bytes_total,
+                                     inner.first_seen, inner.last_seen)
+            records[0] = merged
+        return records
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _assign_rows(self, keys: np.ndarray, prefix_of: PrefixOf) -> None:
+        """Mirror ExactAggregation's first-traffic row numbering."""
+        unique, first_index = np.unique(keys, return_index=True)
+        for key in unique[np.argsort(first_index)].tolist():
+            if key not in self._row_of:
+                self._row_of[key] = len(self.prefixes)
+                prefix = prefix_of(key)
+                self.prefixes.append(prefix)
+                # placeholder until the home shard's record exists;
+                # _extend_map swaps in the shard's live record object
+                self._records.append(FlowRecord(prefix))
+
+    def _extend_map(self, index: int) -> None:
+        """Map any new rows of shard ``index`` onto the population."""
+        shard = self.shards[index]
+        row_map = self._shard_rows[index]
+        keys = shard.row_keys()
+        if len(keys) == len(row_map):
+            return
+        offset = 1 if self._sketched else 0
+        shard_records = shard.flow_records()
+        for inner_index in range(len(row_map), len(keys)):
+            key = keys[inner_index]
+            row = self._row_of.get(key)
+            if row is None:
+                # sketch shards surface a key only at slot close; give
+                # it its outer row now, in (shard, inner-row) order
+                row = len(self.prefixes)
+                self._row_of[key] = row
+                self.prefixes.append(
+                    shard.prefixes[offset + inner_index]
+                )
+                self._records.append(
+                    shard_records[offset + inner_index]
+                )
+            else:
+                # exact shards earn outer rows in _assign_rows; adopt
+                # the shard's live record in place of the placeholder
+                self._records[row] = shard_records[offset + inner_index]
+            row_map.append(row)

@@ -1,0 +1,182 @@
+"""Merge edge cases: the collector must conserve bytes through every
+combination of empty, disjoint, overlapping and truncated summaries."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import merge_runs, merge_summaries
+from repro.distributed.summary import SlotSummary
+from repro.errors import ClassificationError
+from repro.net.prefix import Prefix
+
+
+def summary(entries, slot=0, residual=0.0, monitor="m",
+            slot_seconds=60.0):
+    prefixes = tuple(Prefix.parse(p) for p, _ in entries)
+    volumes = np.array([v for _, v in entries], dtype=float)
+    return SlotSummary(
+        slot=slot, start=slot * slot_seconds, slot_seconds=slot_seconds,
+        prefixes=prefixes, volumes=volumes, residual_bytes=residual,
+        monitor=monitor,
+    )
+
+
+def by_prefix(merged):
+    return {str(p): v for p, v in zip(merged.prefixes,
+                                      merged.volumes.tolist())}
+
+
+class TestMergeSummaries:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ClassificationError):
+            merge_summaries([])
+
+    def test_single_summary_is_identity_up_to_name(self):
+        original = summary([("10.0.0.0/16", 100.0)], residual=7.0)
+        merged = merge_summaries([original])
+        assert by_prefix(merged) == {"10.0.0.0/16": 100.0}
+        assert merged.residual_bytes == 7.0
+        assert merged.total_bytes == original.total_bytes
+
+    def test_empty_shard_summaries_are_absorbed(self):
+        full = summary([("10.0.0.0/16", 100.0)], residual=5.0)
+        empty = summary([], residual=0.0, monitor="idle")
+        merged = merge_summaries([full, empty, empty])
+        assert merged.total_bytes == full.total_bytes
+        assert merged.num_entries == 1
+
+    def test_disjoint_key_sets_union(self):
+        west = summary([("10.0.0.0/16", 100.0), ("10.1.0.0/16", 50.0)])
+        east = summary([("10.2.0.0/16", 75.0)], residual=2.0)
+        merged = merge_summaries([west, east])
+        assert by_prefix(merged) == {
+            "10.0.0.0/16": 100.0, "10.1.0.0/16": 50.0,
+            "10.2.0.0/16": 75.0,
+        }
+        assert merged.residual_bytes == 2.0
+
+    def test_duplicate_keys_sum(self):
+        a = summary([("10.0.0.0/16", 100.0), ("10.1.0.0/16", 10.0)],
+                    residual=1.0)
+        b = summary([("10.0.0.0/16", 40.0)], residual=2.0)
+        c = summary([("10.0.0.0/16", 5.0), ("10.2.0.0/16", 1.0)])
+        merged = merge_summaries([a, b, c])
+        assert by_prefix(merged)["10.0.0.0/16"] == 145.0
+        assert merged.residual_bytes == 3.0
+        assert merged.total_bytes == pytest.approx(
+            a.total_bytes + b.total_bytes + c.total_bytes
+        )
+
+    def test_retruncation_conserves_residual_bytes(self):
+        a = summary([(f"10.{i}.0.0/16", 100.0 - i) for i in range(6)],
+                    residual=11.0)
+        b = summary([(f"10.{i}.0.0/16", 50.0) for i in range(3, 9)],
+                    residual=3.0)
+        merged = merge_summaries([a, b], k=4)
+        assert merged.num_entries == 4
+        # every byte either survives in the table or sits in the
+        # residual: nothing is lost to the cut
+        assert merged.total_bytes == pytest.approx(
+            a.total_bytes + b.total_bytes
+        )
+        kept = set(by_prefix(merged))
+        # 10.3/16 .. 10.5/16 carry ~147-150 bytes merged; they survive
+        assert {"10.3.0.0/16", "10.4.0.0/16", "10.5.0.0/16"} <= kept
+
+    def test_k_zero_pushes_everything_residual(self):
+        merged = merge_summaries(
+            [summary([("10.0.0.0/16", 10.0)], residual=1.0)], k=0,
+        )
+        assert merged.num_entries == 0
+        assert merged.residual_bytes == 11.0
+
+    def test_interval_mismatch_rejected(self):
+        with pytest.raises(ClassificationError):
+            merge_summaries([summary([], slot=0), summary([], slot=1)])
+
+    def test_local_slot_numbers_may_disagree(self):
+        # same interval, different monitor-local counters: mergeable
+        early = summary([("10.0.0.0/16", 5.0)], slot=3)
+        late = SlotSummary(0, 180.0, 60.0,
+                           (Prefix.parse("10.1.0.0/16"),),
+                           np.array([2.0]), monitor="late")
+        merged = merge_summaries([early, late], slot=3)
+        assert merged.slot == 3
+        assert merged.num_entries == 2
+
+    def test_grid_mismatch_rejected(self):
+        a = summary([], slot=0)
+        b = SlotSummary(0, 0.0, 30.0, (), np.zeros(0))
+        with pytest.raises(ClassificationError):
+            merge_summaries([a, b])
+
+    def test_merge_order_deterministic(self):
+        a = summary([("10.0.0.0/16", 1.0), ("10.1.0.0/16", 2.0)])
+        b = summary([("10.2.0.0/16", 3.0)])
+        first = merge_summaries([a, b])
+        second = merge_summaries([a, b])
+        assert first.prefixes == second.prefixes
+        assert np.array_equal(first.volumes, second.volumes)
+
+
+class TestMergeRuns:
+    def test_aligns_by_slot(self):
+        mon_a = [summary([("10.0.0.0/16", 10.0)], slot=s)
+                 for s in range(3)]
+        mon_b = [summary([("10.1.0.0/16", 5.0)], slot=s)
+                 for s in range(3)]
+        merged = merge_runs([mon_a, mon_b])
+        assert [m.slot for m in merged] == [0, 1, 2]
+        assert all(m.num_entries == 2 for m in merged)
+
+    def test_monitor_missing_a_slot(self):
+        mon_a = [summary([("10.0.0.0/16", 10.0)], slot=s)
+                 for s in range(3)]
+        mon_b = [summary([("10.1.0.0/16", 5.0)], slot=1)]
+        merged = merge_runs([mon_a, mon_b])
+        assert [m.num_entries for m in merged] == [1, 2, 1]
+
+    def test_staggered_monitor_aligns_by_grid_cell(self):
+        # monitor B came up one slot late: its local slot 0 is A's
+        # slot 1 (start 60.0). Alignment is by interval, not counter.
+        mon_a = [summary([("10.0.0.0/16", 10.0)], slot=s)
+                 for s in range(3)]
+        mon_b = [
+            SlotSummary(local, (local + 1) * 60.0, 60.0,
+                        (Prefix.parse("10.1.0.0/16"),),
+                        np.array([5.0]), monitor="late")
+            for local in range(2)
+        ]
+        merged = merge_runs([mon_a, mon_b])
+        assert [m.slot for m in merged] == [0, 1, 2]
+        assert [m.num_entries for m in merged] == [1, 2, 2]
+        assert merged[1].start == 60.0
+
+    def test_numbering_anchored_at_earliest_interval(self):
+        # nobody saw traffic before start 120: merged slots renumber
+        # from the earliest merged interval, staying grid-contiguous
+        mon = [summary([("10.0.0.0/16", 1.0)], slot=s)
+               for s in (2, 3)]
+        merged = merge_runs([mon])
+        assert [m.slot for m in merged] == [0, 1]
+        assert [m.start for m in merged] == [120.0, 180.0]
+
+    def test_empty_everything_rejected(self):
+        with pytest.raises(ClassificationError):
+            merge_runs([[], []])
+
+    def test_mixed_grids_rejected(self):
+        fast = [SlotSummary(0, 0.0, 30.0, (), np.zeros(0))]
+        slow = [summary([], slot=0)]
+        with pytest.raises(ClassificationError):
+            merge_runs([fast, slow])
+
+    def test_truncation_applied_per_slot(self):
+        mon_a = [summary([(f"10.{i}.0.0/16", 10.0 + i)
+                          for i in range(5)], slot=0)]
+        mon_b = [summary([(f"10.{i}.0.0/16", 1.0)
+                          for i in range(5, 8)], slot=0)]
+        merged = merge_runs([mon_a, mon_b], k=3)
+        assert merged[0].num_entries == 3
+        total = sum(s.total_bytes for s in mon_a + mon_b)
+        assert merged[0].total_bytes == pytest.approx(total)

@@ -344,3 +344,32 @@ class TestFactoryAndBudget:
     def test_budget_below_one_entry_rejected(self):
         with pytest.raises(ClassificationError):
             capacity_for_budget("space-saving", 16)
+
+
+class TestRowKeys:
+    """row_keys() is the public inner-row → key contract the sharded
+    merge is built on: position i owns row i (plus the residual
+    offset), in assignment order, append-only."""
+
+    def test_exact_rows_in_assignment_order(self):
+        backend = make_backend("exact")
+        rows = heavy_tailed_rows(num_heavy=3, num_mice=10, num_slots=2)
+        aggregator, _ = run_backend_over(rows, backend)
+        keys = backend.row_keys()
+        assert len(keys) == backend.num_rows
+        for index, key in enumerate(keys):
+            # re-resolve through the aggregator's resolver: row i's key
+            # must map to prefix i of the emitted population
+            assert aggregator.resolver.prefixes[key] == \
+                backend.prefixes[index]
+
+    @pytest.mark.parametrize("name", SKETCH_NAMES)
+    def test_sketch_rows_offset_past_residual(self, name):
+        backend = make_backend(name, capacity=6)
+        rows = heavy_tailed_rows(num_heavy=3, num_mice=10, num_slots=2)
+        aggregator, _ = run_backend_over(rows, backend)
+        keys = backend.row_keys()
+        assert len(keys) == backend.num_rows - 1
+        for index, key in enumerate(keys):
+            assert aggregator.resolver.prefixes[key] == \
+                backend.prefixes[index + 1]

@@ -178,6 +178,100 @@ class TestStreamBackends:
         assert "mean_residual_fraction" in out
 
 
+class TestStreamSharded:
+    def test_sharded_exact_matches_single(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"], "--json"]) == 0
+        single = json.loads(capsys.readouterr().out)
+        assert main(["stream", stream_capture["pcap"], "--json",
+                     "--shards", "4"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["shards"] == 4
+        assert sharded["num_flows"] == single["num_flows"]
+        assert sharded["mean_elephants_per_slot"] == \
+            single["mean_elephants_per_slot"]
+        assert sharded["mean_traffic_fraction"] == \
+            single["mean_traffic_fraction"]
+
+    def test_sharded_sketch_backend(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"], "--json",
+                     "--backend", "space-saving", "--capacity", "8",
+                     "--shards", "2"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["shards"] == 2
+        assert summary["capacity"] == 8
+        assert summary["peak_tracked_flows"] <= 8
+
+    def test_budget_accounts_for_shards(self, stream_capture, capsys):
+        from repro.pipeline.backends import TRACKED_ENTRY_BYTES
+        assert main(["stream", stream_capture["pcap"], "--json",
+                     "--backend", "space-saving", "--shards", "4",
+                     "--memory-budget", "64k"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        per_shard = ((64 << 10) // 4) // TRACKED_ENTRY_BYTES
+        assert summary["capacity"] == 4 * per_shard
+        # the old bug would have sized each shard at the full budget
+        assert summary["capacity"] <= (64 << 10) // TRACKED_ENTRY_BYTES
+
+
+class TestMerge:
+    @pytest.fixture()
+    def summary_files(self, stream_capture, tmp_path):
+        paths = []
+        for monitor in range(2):
+            path = str(tmp_path / f"mon{monitor}.npz")
+            assert main(["stream", stream_capture["pcap"], "--quiet",
+                         "--backend", "space-saving", "--capacity", "6",
+                         "--summary-out", path]) == 0
+            paths.append(path)
+        return paths
+
+    def test_summary_out_reports_path(self, stream_capture, tmp_path,
+                                      capsys):
+        path = str(tmp_path / "mon.npz")
+        assert main(["stream", stream_capture["pcap"], "--json",
+                     "--summary-out", path]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["summary_out"] == path
+
+    def test_merge_table_output(self, summary_files, capsys):
+        assert main(["merge", *summary_files, "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "merge summary" in out
+        assert "monitors" in out
+        assert "slot    0" in out
+
+    def test_merge_json_output(self, summary_files, capsys):
+        assert main(["merge", *summary_files, "--json", "--k", "8"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["monitors"] == 2
+        assert summary["num_slots"] == 4
+        assert summary["k"] == 8
+        assert summary["merged_bytes"] > 0
+        assert 0.0 <= summary["mean_residual_fraction"] <= 1.0
+
+    def test_merge_missing_file(self, tmp_path, capsys):
+        assert main(["merge", str(tmp_path / "absent.npz")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_merge_corrupt_file(self, tmp_path, capsys):
+        path = str(tmp_path / "garbage.npz")
+        with open(path, "wb") as stream:
+            stream.write(b"not a summary archive")
+        assert main(["merge", path]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_merge_mixed_grids(self, stream_capture, tmp_path, capsys):
+        fast = str(tmp_path / "fast.npz")
+        slow = str(tmp_path / "slow.npz")
+        assert main(["stream", stream_capture["pcap"], "--quiet",
+                     "--slot-seconds", "60", "--summary-out", fast]) == 0
+        assert main(["stream", stream_capture["pcap"], "--quiet",
+                     "--slot-seconds", "30", "--summary-out", slow]) == 0
+        capsys.readouterr()
+        assert main(["merge", fast, slow]) == 2
+        assert "grid" in capsys.readouterr().err
+
+
 class TestStreamErrors:
     def test_capacity_below_one(self, stream_capture, capsys):
         assert main(["stream", stream_capture["pcap"], "--backend",
