@@ -9,8 +9,9 @@ Commands:
 - ``stream``   — classify a capture slot by slot through the streaming
   pipeline: pcap in, verdicts out, memory bounded by O(flows × window)
   however long the capture is. Also replays ``.npz``/``.csv`` matrices,
-  shards the flow table (``--shards``), and exports per-slot summaries
-  for a collector (``--summary-out``).
+  shards the flow table (``--shards``), forks true multi-process
+  ingestion (``--workers``), and exports per-slot summaries for a
+  collector (``--summary-out``).
 - ``merge``    — merge per-monitor summary files slot by slot at a
   collector and classify the stitched link.
 - ``figures``  — run the full two-link paper experiment and render
@@ -35,6 +36,7 @@ from repro.distributed import (
     Collector,
     SlotSummary,
     load_summaries,
+    parallel_ingest,
     save_summaries,
 )
 from repro.core.engine import (
@@ -125,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--shards", type=int, default=1,
                         help="partition the flow table across N shard "
                              "backends merged at slot close")
+    stream.add_argument("--workers", type=int, default=1,
+                        help="fork N shard worker processes fed by a "
+                             "reader process (true multi-process "
+                             "ingestion; packet inputs only)")
     stream.add_argument("--summary-out", metavar="FILE", default=None,
                         help="write per-slot summaries (.npz) for "
                              "`repro merge`")
@@ -248,12 +254,13 @@ def _load_rib_prefixes(path: str) -> CompiledLpm:
     return CompiledLpm(prefixes)
 
 
-def _backend_from_args(args: argparse.Namespace
-                       ) -> AggregationBackend | None:
-    """Build the aggregation backend the stream flags describe.
+def _capacity_from_args(args: argparse.Namespace,
+                        shards: int) -> int | None:
+    """Resolve ``--capacity``/``--memory-budget`` to a total capacity.
 
-    Returns ``None`` for the default exact backend so callers can keep
-    the aggregator's historical construction path.
+    ``shards`` is whatever splits the table — ``--shards`` tables in
+    one process or ``--workers`` processes — so a byte budget buys N
+    tables of K/N entries either way, never N tables of K.
     """
     capacity = args.capacity
     if args.memory_budget is not None:
@@ -263,10 +270,19 @@ def _backend_from_args(args: argparse.Namespace
                 "give one"
             )
         budget = parse_memory_budget(args.memory_budget)
-        # the budget buys N tables of K/N entries, not N tables of K:
-        # a sharded run must not silently use shards x the memory
         capacity = capacity_for_budget(args.backend, budget,
-                                       shards=args.shards)
+                                       shards=shards)
+    return capacity
+
+
+def _backend_from_args(args: argparse.Namespace
+                       ) -> AggregationBackend | None:
+    """Build the aggregation backend the stream flags describe.
+
+    Returns ``None`` for the default exact backend so callers can keep
+    the aggregator's historical construction path.
+    """
+    capacity = _capacity_from_args(args, args.shards)
     if args.backend == "exact" and capacity is None and args.shards == 1:
         return None
     # validation (exact rejects capacity, capacity >= 1, ...) lives in
@@ -287,22 +303,20 @@ def _load_matrix(path: str) -> RateMatrix:
         raise ReproError(f"cannot load matrix {path!r}: {exc}") from exc
 
 
-def _stream_source(args: argparse.Namespace,
-                   backend: AggregationBackend | None,
-                   ) -> tuple[SlotSource, StreamingAggregator | None]:
-    """Build the slot source (and aggregator, for packet inputs).
+def _packet_input(args: argparse.Namespace):
+    """The packet source + resolver behind ``args.input``.
 
-    For packet inputs the backend bounds the aggregator's flow table;
-    for matrix replays the caller interposes it at the slot level.
+    Returns ``None`` when the input is a rate-matrix artefact (slot
+    altitude — there are no packets to process).
     """
     path = args.input
     if path.endswith(".npz"):
-        return MatrixSlotSource(_load_matrix(path)), None
+        return None
     if path.endswith(".csv"):
         with _open_text(path, "capture") as stream:
             header = stream.readline()
         if header.startswith("prefix"):
-            return MatrixSlotSource(_load_matrix(path)), None
+            return None
         packets = CsvPacketSource(path)
     else:
         # fail on an unreadable capture here, not mid-stream
@@ -318,6 +332,21 @@ def _stream_source(args: argparse.Namespace,
         resolver = _load_rib_prefixes(args.rib)
     else:
         resolver = FixedLengthResolver(args.prefix_length)
+    return packets, resolver
+
+
+def _stream_source(args: argparse.Namespace,
+                   backend: AggregationBackend | None,
+                   ) -> tuple[SlotSource, StreamingAggregator | None]:
+    """Build the slot source (and aggregator, for packet inputs).
+
+    For packet inputs the backend bounds the aggregator's flow table;
+    for matrix replays the caller interposes it at the slot level.
+    """
+    packet_input = _packet_input(args)
+    if packet_input is None:
+        return MatrixSlotSource(_load_matrix(args.input)), None
+    packets, resolver = packet_input
     aggregator = StreamingAggregator(resolver,
                                      slot_seconds=args.slot_seconds,
                                      backend=backend)
@@ -349,8 +378,78 @@ def _print_summary(summary: dict[str, object], as_json: bool,
     print(format_table(["metric", "value"], rows, title=title))
 
 
+def _cmd_stream_parallel(args: argparse.Namespace, scheme: Scheme,
+                         feature: Feature) -> int:
+    """``repro stream --workers N``: reader → workers → collector."""
+    if args.shards > 1:
+        raise ReproError(
+            "--shards and --workers are alternatives: shards split the "
+            "flow table inside one process, workers fork one process "
+            "per shard"
+        )
+    packet_input = _packet_input(args)
+    if packet_input is None:
+        raise ReproError(
+            "--workers needs a packet input (pcap capture or packet "
+            "csv); matrix replays have no packets to partition"
+        )
+    packets, resolver = packet_input
+    capacity = _capacity_from_args(args, args.workers)
+    ingest = parallel_ingest(
+        packets, resolver, workers=args.workers,
+        slot_seconds=args.slot_seconds, backend=args.backend,
+        capacity=capacity,
+    )
+    if all(not run for run in ingest.runs):
+        print("no slots in input", file=sys.stderr)
+        return 1
+    collector = ingest.collector(
+        scheme=scheme, feature=feature,
+        config=EngineConfig(alpha=args.alpha, beta=args.beta,
+                            window=args.window),
+    )
+    slots = 0
+    for event in collector.events():
+        slots += 1
+        if not (args.quiet or args.json):
+            _print_slot_line(event)
+    if args.summary_out is not None:
+        save_summaries(args.summary_out, collector.merged)
+    series = collector.series()
+    pipeline = collector.pipeline()
+    num_flows = (pipeline.classifier.num_flows
+                 if pipeline.classifier is not None else 0)
+    if num_flows > 0:
+        num_flows -= 1  # merged frames always carry a residual row
+    summary: dict[str, object] = {
+        "run": pipeline.label,
+        "backend": args.backend,
+        "workers": args.workers,
+        "num_slots": slots,
+        "num_flows": num_flows,
+        "mean_elephants_per_slot": series.mean_count,
+        "mean_traffic_fraction": series.mean_fraction,
+        "mean_residual_fraction": series.mean_residual_fraction,
+        "packets_seen": ingest.stats.packets_seen,
+        "packets_matched": ingest.stats.packets_matched,
+        "packets_unrouted": ingest.stats.packets_unrouted,
+        "packets_skipped": ingest.stats.packets_skipped,
+        "bytes_matched": ingest.stats.bytes_matched,
+    }
+    if capacity is not None:
+        summary["capacity"] = capacity
+    if args.summary_out is not None:
+        summary["summary_out"] = args.summary_out
+    _print_summary(summary, args.json, "stream summary")
+    return 0
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     scheme, feature = _scheme_and_feature(args)
+    if args.workers < 1:
+        raise ReproError("--workers must be >= 1")
+    if args.workers > 1:
+        return _cmd_stream_parallel(args, scheme, feature)
     backend = _backend_from_args(args)
     source, aggregator = _stream_source(args, backend)
     pipeline = StreamingPipeline(source, scheme=scheme, feature=feature,
@@ -450,6 +549,11 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         "mean_traffic_fraction": series.mean_fraction,
         "mean_residual_fraction": series.mean_residual_fraction,
     }
+    skewed = {str(index): offset
+              for index, offset in collector.skew_estimate.items()
+              if offset}
+    if skewed:
+        summary["clock_skew_seconds"] = skewed
     _print_summary(summary, args.json, "merge summary")
     return 0
 

@@ -6,15 +6,29 @@ its slice of a link to per-slot :class:`SlotSummary` records (a
 mergeable candidate table plus a byte-conserving residual), a
 :class:`Collector` sums the summaries prefix-wise, re-truncates to a
 capacity, and classifies the merged stream through the ordinary online
-pipeline. Together with
-:class:`~repro.pipeline.sharded.ShardedAggregation` (the in-process
-flavour of the same split) this is the dataflow that scales one link's
-elephants across N processes and N taps.
+pipeline. :func:`parallel_ingest` runs the same dataflow across real
+processes on one host — a reader dealing hash-partitioned packets to
+worker-owned backends whose slot summaries meet at the collector —
+while :class:`~repro.pipeline.sharded.ShardedAggregation` remains the
+in-process flavour of the identical split. :func:`estimate_clock_skew`
+is the collector's guard against monitors whose clocks drifted past a
+slot boundary.
 """
 
 from repro.distributed.collector import Collector, MergedSlotSource
-from repro.distributed.merge import merge_runs, merge_summaries
+from repro.distributed.merge import (
+    MergedRun,
+    estimate_clock_skew,
+    merge_runs,
+    merge_summaries,
+)
 from repro.distributed.partition import StridedPacketSource
+from repro.distributed.runner import (
+    ParallelIngestResult,
+    RowResolver,
+    WorkerSpec,
+    parallel_ingest,
+)
 from repro.distributed.summary import (
     SlotSummary,
     load_summaries,
@@ -23,11 +37,17 @@ from repro.distributed.summary import (
 
 __all__ = [
     "Collector",
+    "MergedRun",
     "MergedSlotSource",
+    "ParallelIngestResult",
+    "RowResolver",
     "SlotSummary",
     "StridedPacketSource",
+    "WorkerSpec",
+    "estimate_clock_skew",
     "load_summaries",
     "merge_runs",
     "merge_summaries",
+    "parallel_ingest",
     "save_summaries",
 ]

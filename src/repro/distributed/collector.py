@@ -85,16 +85,24 @@ class Collector:
 
     ``runs`` is one sequence of slot summaries per monitor; ``k``
     bounds the merged table per slot (the multi-monitor analogue of a
-    sketch capacity). The collector merges eagerly — merge errors
-    surface at construction, not mid-stream.
+    sketch capacity). ``fill_gaps`` interpolates empty merged slots
+    for intervals no monitor covered, giving the classifier the same
+    contiguous slot sequence a single monitor emits. The collector
+    merges eagerly — merge errors (and clock-skew warnings, recorded
+    in :attr:`skew_estimate`) surface at construction, not mid-stream.
     """
 
     def __init__(self, runs: Sequence[Sequence[SlotSummary]],
                  k: int | None = None,
                  scheme: Scheme = Scheme.CONSTANT_LOAD,
                  feature: Feature = Feature.LATENT_HEAT,
-                 config: EngineConfig | None = None) -> None:
-        self.merged = merge_runs(runs, k=k)
+                 config: EngineConfig | None = None,
+                 fill_gaps: bool = False,
+                 check_skew: bool = True) -> None:
+        self.merged = merge_runs(runs, k=k, fill_gaps=fill_gaps,
+                                 check_skew=check_skew)
+        #: Collector-side clock-skew estimate per monitor run (seconds).
+        self.skew_estimate = self.merged.skew_estimate
         self.num_monitors = len(runs)
         self.k = k
         self.scheme = scheme

@@ -11,17 +11,47 @@ the merged slot still conserves every byte any monitor saw.
 :func:`merge_summaries` merges one slot across monitors;
 :func:`merge_runs` aligns whole monitor runs slot by slot, tolerating
 monitors that missed slots (their contribution is simply absent).
+
+Alignment is by grid cell, which *trusts monitor clocks*: a monitor
+whose clock drifts past a slot boundary silently mis-bins its traffic.
+:func:`estimate_clock_skew` is the collector-side check — it compares
+overlapping-slot byte totals between monitor runs at candidate slot
+lags, and :func:`merge_runs` raises a
+:class:`~repro.errors.ClockSkewWarning` (and records the estimate on
+the returned :class:`MergedRun`) when a run's totals line up better one
+or more slots away from where its timestamps put them.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import math
+import warnings
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.distributed.summary import SlotSummary
-from repro.errors import ClassificationError
+from repro.errors import ClassificationError, ClockSkewWarning
 from repro.net.prefix import Prefix
+
+#: Widest clock offset, in slots, the skew estimator scans for.
+MAX_SKEW_SLOTS = 3
+#: Overlapping slots needed before a lag correlation is trusted.
+MIN_SKEW_OVERLAP = 6
+#: How much better (Pearson r) an offset alignment must fit than the
+#: as-reported alignment before skew is declared.
+SKEW_MARGIN = 0.25
+#: A skewed monitor is the *same* traffic shifted in time, so the
+#: offset alignment must fit almost perfectly — this floor keeps
+#: chance correlations from reading as skew.
+SKEW_MIN_CORRELATION = 0.9
+#: t-statistic a nonzero-lag correlation must clear given its sample
+#: size. Scanning 2 x MAX_SKEW_SLOTS lags over a handful of
+#: overlapping slots multiple-tests its way into spurious r >= 0.9
+#: hits; requiring t = r sqrt(n-2) / sqrt(1-r^2) above this keeps the
+#: per-merge false-positive rate well under a percent while a real
+#: shifted clock (r ~ 1) passes at any overlap.
+SKEW_MIN_T_STATISTIC = 8.0
 
 
 def merge_summaries(summaries: Sequence[SlotSummary],
@@ -73,8 +103,135 @@ def merge_summaries(summaries: Sequence[SlotSummary],
     return merged
 
 
+class MergedRun(list):
+    """A merged slot sequence plus collector-side diagnostics.
+
+    Behaves exactly like the ``list[SlotSummary]`` older callers
+    expect; ``skew_estimate`` maps each input run's index to its
+    estimated clock offset in seconds (``0.0`` when the run aligns, or
+    when too little overlap exists to tell).
+    """
+
+    def __init__(self, summaries: Iterable[SlotSummary],
+                 skew_estimate: dict[int, float] | None = None) -> None:
+        super().__init__(summaries)
+        self.skew_estimate: dict[int, float] = dict(skew_estimate or {})
+
+    @property
+    def max_abs_skew(self) -> float:
+        """Largest estimated clock offset across runs, in seconds."""
+        if not self.skew_estimate:
+            return 0.0
+        return max(abs(value) for value in self.skew_estimate.values())
+
+
+def _cell_totals(run: Sequence[SlotSummary],
+                 seconds: float) -> dict[int, float]:
+    """Per-grid-cell byte totals for one monitor run."""
+    totals: dict[int, float] = {}
+    for summary in run:
+        cell = int(round(summary.start / seconds))
+        totals[cell] = totals.get(cell, 0.0) + summary.total_bytes
+    return totals
+
+
+def _lag_correlation(reference: dict[int, float],
+                     other: dict[int, float], lag: int,
+                     min_overlap: int) -> tuple[float, int] | None:
+    """Pearson r (and sample size) of reference[c] vs other[c + lag]."""
+    cells = [cell for cell in reference if cell + lag in other]
+    if len(cells) < min_overlap:
+        return None
+    left = np.array([reference[cell] for cell in cells])
+    right = np.array([other[cell + lag] for cell in cells])
+    if left.std() == 0.0 or right.std() == 0.0:
+        return None
+    return float(np.corrcoef(left, right)[0, 1]), len(cells)
+
+
+def _significance_floor(count: int) -> float:
+    """The r below which ``count`` points cannot clear the t floor."""
+    t_squared = SKEW_MIN_T_STATISTIC ** 2
+    return math.sqrt(t_squared / (t_squared + count - 2))
+
+
+def estimate_clock_skew(runs: Sequence[Sequence[SlotSummary]],
+                        max_lag_slots: int = MAX_SKEW_SLOTS,
+                        min_overlap: int = MIN_SKEW_OVERLAP,
+                        ) -> dict[int, float]:
+    """Estimate each run's clock offset from overlapping slot totals.
+
+    The longest run anchors the comparison. For every other run, the
+    per-cell byte totals are correlated against the anchor's at slot
+    lags ``-max_lag_slots .. +max_lag_slots``; a run whose totals fit
+    decisively better at a nonzero lag — beating the as-reported
+    alignment by :data:`SKEW_MARGIN` of Pearson r, above the
+    :data:`SKEW_MIN_CORRELATION` floor, *and* statistically
+    significant for its overlap size (:data:`SKEW_MIN_T_STATISTIC`) —
+    is estimated to be skewed by that many slots. Positive means the
+    run's clock reads *ahead* (its traffic lands in later cells than
+    it occurred in). Runs with fewer than ``min_overlap`` comparable
+    cells, or without a decisive fit, estimate ``0.0``: absence of
+    evidence is not skew. The estimator presumes the runs watch the
+    *same* link (taps of one traffic mix); monitors of unrelated links
+    have uncorrelated totals at every lag and the significance floor
+    is what keeps them from producing chance verdicts.
+    """
+    estimates = {index: 0.0 for index in range(len(runs))}
+    if len(runs) < 2:
+        return estimates
+    seconds = {summary.slot_seconds
+               for run in runs for summary in run}
+    if len(seconds) != 1:
+        return estimates  # mixed grids fail the merge itself
+    grid = seconds.pop()
+    totals = [_cell_totals(run, grid) for run in runs]
+    anchor_index = max(range(len(runs)), key=lambda i: len(totals[i]))
+    anchor = totals[anchor_index]
+    for index, cells in enumerate(totals):
+        if index == anchor_index:
+            continue
+        aligned = _lag_correlation(anchor, cells, 0, min_overlap)
+        best_lag, best = 0, aligned
+        for lag in range(-max_lag_slots, max_lag_slots + 1):
+            if lag == 0:
+                continue
+            score = _lag_correlation(anchor, cells, lag, min_overlap)
+            if score is None:
+                continue
+            if best is None or score[0] > best[0]:
+                best_lag, best = lag, score
+        if best_lag == 0 or best is None:
+            continue
+        correlation, count = best
+        floor = 0.0 if aligned is None else max(aligned[0], 0.0)
+        if (correlation >= SKEW_MIN_CORRELATION
+                and correlation >= _significance_floor(count)
+                and correlation >= floor + SKEW_MARGIN):
+            # other[c + lag] matches anchor[c]: the run's totals sit
+            # `lag` cells later than the traffic, so its clock is ahead
+            estimates[index] = best_lag * grid
+    return estimates
+
+
+def _empty_slot(cell: int, first_cell: int,
+                seconds: float) -> SlotSummary:
+    """A merged slot for an interval no monitor covered."""
+    return SlotSummary(
+        slot=cell - first_cell,
+        start=cell * seconds,
+        slot_seconds=seconds,
+        prefixes=(),
+        volumes=np.zeros(0),
+        residual_bytes=0.0,
+        monitor="merged[0]",
+    )
+
+
 def merge_runs(runs: Sequence[Sequence[SlotSummary]],
-               k: int | None = None) -> list[SlotSummary]:
+               k: int | None = None,
+               fill_gaps: bool = False,
+               check_skew: bool = True) -> MergedRun:
     """Align and merge whole monitor runs, slot by slot.
 
     Alignment is by *absolute* position on the slot grid (the slot's
@@ -85,6 +242,20 @@ def merge_runs(runs: Sequence[Sequence[SlotSummary]],
     shared grid from the earliest merged interval. Monitors absent
     from an interval contribute nothing to it; monitors must share the
     slot grid.
+
+    ``fill_gaps`` additionally emits an *empty* merged slot for every
+    grid cell between the first and last covered interval that no
+    monitor reported — the silent-link slot a single monitor would
+    have observed — so downstream classification sees a contiguous
+    slot sequence.
+
+    The result is a :class:`MergedRun` carrying a per-run clock-skew
+    estimate; a :class:`~repro.errors.ClockSkewWarning` is emitted for
+    any run whose totals align a full slot (or more) away from its
+    reported timestamps. ``check_skew=False`` skips the estimate —
+    right when the runs share one clock by construction (shard workers
+    on a single host), where per-run totals are uncorrelated because
+    the flows, not the packets, were partitioned.
     """
     flat = [summary for run in runs for summary in run]
     if not flat:
@@ -96,6 +267,20 @@ def merge_runs(runs: Sequence[Sequence[SlotSummary]],
             "re-slot before merging"
         )
     seconds = flat[0].slot_seconds
+    skew = (estimate_clock_skew(runs) if check_skew
+            else {index: 0.0 for index in range(len(runs))})
+    for index, offset in skew.items():
+        if offset:
+            monitor = next(
+                (s.monitor for s in runs[index] if s.monitor), ""
+            )
+            label = f" ({monitor})" if monitor else ""
+            warnings.warn(ClockSkewWarning(
+                f"monitor run {index}{label} slot totals align "
+                f"{offset:+g}s away from their timestamps; its clock "
+                "appears skewed beyond a slot boundary and its "
+                "traffic may be mis-binned"
+            ), stacklevel=2)
     by_cell: dict[int, list[SlotSummary]] = {}
     for summary in flat:
         # starts are grid-aligned by construction; round() guards the
@@ -104,8 +289,21 @@ def merge_runs(runs: Sequence[Sequence[SlotSummary]],
         cell = int(round(summary.start / seconds))
         by_cell.setdefault(cell, []).append(summary)
     first_cell = min(by_cell)
-    return [merge_summaries(by_cell[cell], k=k, slot=cell - first_cell)
-            for cell in sorted(by_cell)]
+    merged = []
+    cells = (range(first_cell, max(by_cell) + 1) if fill_gaps
+             else sorted(by_cell))
+    for cell in cells:
+        if cell in by_cell:
+            merged.append(merge_summaries(by_cell[cell], k=k,
+                                          slot=cell - first_cell))
+        else:
+            merged.append(_empty_slot(cell, first_cell, seconds))
+    return MergedRun(merged, skew_estimate=skew)
 
 
-__all__ = ["merge_runs", "merge_summaries"]
+__all__ = [
+    "MergedRun",
+    "estimate_clock_skew",
+    "merge_runs",
+    "merge_summaries",
+]

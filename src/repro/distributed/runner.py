@@ -1,0 +1,463 @@
+"""True multi-process ingestion: reader → shard workers → collector.
+
+:class:`~repro.pipeline.sharded.ShardedAggregation` rehearses the
+partitioned dataflow inside one process; this module performs it for
+real. :func:`parallel_ingest` forks one **reader** process that scans a
+:class:`~repro.pipeline.sources.PacketSource`, resolves destinations to
+flow keys once, and deals each packet to the worker owning its key —
+the same Fibonacci hash (:func:`~repro.pipeline.sharded.shard_of`) the
+in-process sharder uses, so worker ``i`` sees exactly the sub-stream
+shard ``i`` would. Each **worker** process owns one aggregation backend
+(built through :func:`~repro.pipeline.backends.make_backend` with
+``shards=N``, so sketch capacity splits identically to a sharded
+single-process run), bins its sub-stream into slots, and serializes
+every completed slot as a
+:meth:`~repro.distributed.summary.SlotSummary.to_bytes` payload back to
+the **collector** — the calling process — which parses the wire records
+and classifies the merged link through the unchanged
+:func:`~repro.distributed.merge.merge_summaries` +
+:class:`~repro.distributed.collector.Collector` path.
+
+Queues are bounded (``queue_batches`` packet chunks per worker), so a
+slow worker exerts backpressure instead of letting the reader buffer
+the capture. Worker and reader crashes surface as
+:class:`~repro.errors.ReproError` at the collector — with every child
+process terminated first, never orphaned — which the CLI maps to exit
+code 2.
+
+Captures are assumed chronological (pcap order). Out-of-order packets
+are dropped per worker against the worker's own open slot, which can
+admit a straggler a single-process run would have dropped; equivalence
+with :class:`ShardedAggregation` is exact for in-order input.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.distributed.summary import SlotSummary
+from repro.errors import ClassificationError, ReproError
+from repro.flows.aggregate import AggregationStats
+from repro.net.prefix import Prefix
+from repro.pipeline.backends import AggregationBackend, make_backend
+from repro.pipeline.sharded import shard_of
+from repro.pipeline.sources import PacketBatch, PacketSource
+from repro.routing.lpm import NO_ROUTE
+
+if TYPE_CHECKING:
+    from repro.core.engine import EngineConfig, Feature, Scheme
+    from repro.distributed.collector import Collector
+    from repro.pipeline.aggregator import PrefixResolver
+
+#: Packet-chunk messages a worker's inbound queue buffers before the
+#: reader blocks — the backpressure bound on reader-side memory.
+DEFAULT_QUEUE_BATCHES = 8
+
+#: Fault-injection hook for the crash-path tests: set to ``worker:<id>``
+#: (clean failure), ``worker:<id>:hard`` (exit without a message) or
+#: ``reader`` to make that process fail deterministically.
+FAULT_ENV = "REPRO_RUNNER_FAULT"
+
+_POLL_SECONDS = 0.2
+_CRASH_GRACE_SECONDS = 1.0
+
+
+class RowResolver:
+    """Identity resolver over pre-resolved keys.
+
+    Workers receive flow keys the reader already resolved, so their
+    aggregator's "resolution" is the identity; the prefix table that
+    gives keys meaning is grown incrementally from the reader's
+    messages (``prefixes`` is append-only, like every repo resolver).
+    Also useful wherever keys *are* the rows, e.g. replaying a rate
+    matrix whose row indices double as flow keys.
+    """
+
+    def __init__(self, prefixes: Sequence[Prefix] = ()) -> None:
+        self.prefixes: list[Prefix] = list(prefixes)
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    def extend(self, networks: Sequence[int],
+               lengths: Sequence[int]) -> None:
+        """Append newly discovered prefixes (reader → worker sync)."""
+        for network, length in zip(networks, lengths):
+            self.prefixes.append(Prefix(int(network), int(length)))
+
+    def lookup(self, addresses: np.ndarray) -> np.ndarray:
+        """Keys pass through unchanged; they are already rows."""
+        return np.asarray(addresses, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Backend recipe a worker rebuilds in its own process.
+
+    ``capacity`` is the *total* tracked-flow bound across the fleet;
+    each worker gets the same slice :func:`make_backend` gives shard
+    ``i`` of a ``shards=workers`` build (``ceil(capacity / workers)``
+    entries, seed ``seed + i``), so a ``--workers N`` run and a
+    ``--shards N`` run hold identical sketch state.
+    """
+
+    backend: str = "exact"
+    capacity: int | None = None
+    seed: int = 0
+
+    def validate(self, workers: int) -> None:
+        """Fail fast in the collector, before any process forks."""
+        self.build(0, workers)
+
+    def build(self, worker_id: int, workers: int) -> AggregationBackend:
+        """The inner backend worker ``worker_id`` of ``workers`` owns."""
+        if workers == 1:
+            return make_backend(
+                self.backend, capacity=self.capacity, seed=self.seed
+            )
+        sharded = make_backend(
+            self.backend,
+            capacity=self.capacity,
+            seed=self.seed,
+            shards=workers,
+        )
+        return sharded.shards[worker_id]
+
+
+@dataclass
+class ParallelIngestResult:
+    """What a multi-process ingestion run produced.
+
+    ``runs[i]`` is worker ``i``'s slot-ordered summary run — exactly
+    the artefact a monitor writes with ``--summary-out`` — so the
+    downstream merge/classify machinery is the unchanged multi-monitor
+    path.
+    """
+
+    runs: list[list[SlotSummary]]
+    stats: AggregationStats
+    workers: int
+    start: float | None = None
+
+    @property
+    def num_slots(self) -> int:
+        """Distinct grid cells any worker summarized."""
+        cells = {
+            round(summary.start / summary.slot_seconds)
+            for run in self.runs
+            for summary in run
+        }
+        return len(cells)
+
+    def collector(self, k: int | None = None,
+                  scheme: "Scheme | None" = None,
+                  feature: "Feature | None" = None,
+                  config: "EngineConfig | None" = None,
+                  fill_gaps: bool = True) -> "Collector":
+        """Merge the worker runs and wrap them for classification.
+
+        ``fill_gaps`` (default on) interpolates empty merged slots for
+        grid cells no worker spanned, so the classified slot sequence
+        is contiguous — matching what a single-process run over the
+        same capture emits.
+        """
+        from repro.core.engine import Feature, Scheme
+        from repro.distributed.collector import Collector
+
+        populated = [run for run in self.runs if run]
+        if not populated:
+            raise ClassificationError(
+                "no worker produced any slots; nothing to classify"
+            )
+        # check_skew off: workers share the host clock by construction,
+        # and flow-partitioned runs have uncorrelated per-slot totals,
+        # so the tap-oriented skew heuristic would only emit noise.
+        return Collector(
+            populated,
+            k=k,
+            scheme=Scheme.CONSTANT_LOAD if scheme is None else scheme,
+            feature=Feature.LATENT_HEAT if feature is None else feature,
+            config=config,
+            fill_gaps=fill_gaps,
+            check_skew=False,
+        )
+
+
+def _batch_message(timestamps: np.ndarray, keys: np.ndarray,
+                   sizes: np.ndarray, mine: np.ndarray,
+                   new_prefixes: list[Prefix]) -> tuple:
+    networks = [prefix.network for prefix in new_prefixes]
+    lengths = [prefix.length for prefix in new_prefixes]
+    return (timestamps[mine], keys[mine], sizes[mine], networks,
+            lengths)
+
+
+def _reader_main(source: PacketSource, resolver: "PrefixResolver",
+                 workers: int, in_queues: list, out_queue) -> None:
+    """Scan, resolve and deal packets; always sentinel the workers."""
+    stats = {"packets_seen": 0, "packets_skipped": 0,
+             "packets_unrouted": 0}
+    try:
+        if os.environ.get(FAULT_ENV) == "reader":
+            raise ReproError("injected reader fault")
+        sent = [0] * workers
+        for batch in source.batches():
+            stats["packets_seen"] += batch.packets_seen
+            stats["packets_skipped"] += batch.packets_skipped
+            if batch.num_packets == 0:
+                continue
+            rows = resolver.lookup(batch.destinations)
+            table_size = len(resolver.prefixes)
+            routed = rows != NO_ROUTE
+            stats["packets_unrouted"] += int((~routed).sum())
+            keys = rows[routed]
+            if keys.size == 0:
+                continue
+            # sliced once per batch, not once per worker: the reader
+            # is the serial stage, so per-batch work bounds fleet
+            # scaling
+            timestamps = batch.timestamps[routed]
+            sizes = batch.wire_bytes[routed]
+            homes = (shard_of(keys, workers) if workers > 1
+                     else np.zeros(keys.size, dtype=np.int64))
+            for worker_id in range(workers):
+                mine = homes == worker_id
+                if not mine.any():
+                    continue
+                new = resolver.prefixes[sent[worker_id]:table_size]
+                sent[worker_id] = table_size
+                in_queues[worker_id].put(
+                    _batch_message(timestamps, keys, sizes, mine, new)
+                )
+        out_queue.put(("reader", stats))
+    except BaseException as exc:  # noqa: BLE001 - crosses a process
+        out_queue.put(("error", "reader", f"{exc}"))
+    finally:
+        for in_queue in in_queues:
+            in_queue.put(None)
+
+
+def _worker_main(worker_id: int, workers: int, spec: WorkerSpec,
+                 slot_seconds: float, start: float | None,
+                 in_queue, out_queue) -> None:
+    """Own one shard: aggregate the sub-stream, ship slot summaries."""
+    from repro.pipeline.aggregator import StreamingAggregator
+
+    monitor = f"worker{worker_id}"
+    try:
+        fault = os.environ.get(FAULT_ENV, "")
+        if fault == f"worker:{worker_id}:hard":
+            os._exit(13)
+        if fault == f"worker:{worker_id}":
+            raise ReproError("injected worker fault")
+        resolver = RowResolver()
+        aggregator = StreamingAggregator(
+            resolver,
+            slot_seconds=slot_seconds,
+            start=start,
+            backend=spec.build(worker_id, workers),
+        )
+
+        def ship(frames) -> None:
+            for frame in frames:
+                summary = SlotSummary.from_frame(
+                    frame, slot_seconds, monitor=monitor
+                )
+                out_queue.put(("slot", worker_id, summary.to_bytes()))
+
+        while True:
+            message = in_queue.get()
+            if message is None:
+                break
+            timestamps, keys, sizes, networks, lengths = message
+            resolver.extend(networks, lengths)
+            ship(aggregator.ingest(PacketBatch(
+                timestamps=timestamps,
+                sources=np.zeros(keys.size, dtype=np.int64),
+                destinations=keys,
+                protocols=np.zeros(keys.size, dtype=np.int64),
+                wire_bytes=sizes,
+                packets_seen=keys.size,
+            )))
+        ship(aggregator.finish())
+        out_queue.put(("done", worker_id, {
+            "packets_matched": aggregator.stats.packets_matched,
+            "packets_outside_axis":
+                aggregator.stats.packets_outside_axis,
+            "bytes_matched": aggregator.stats.bytes_matched,
+        }))
+    except BaseException as exc:  # noqa: BLE001 - crosses a process
+        out_queue.put(("error", monitor, f"{exc}"))
+
+
+def _context():
+    """Prefer fork (no pickling of sources/resolvers), else default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _shutdown(processes: list) -> None:
+    """Terminate and reap every child; never leave an orphan."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - terminate refused
+            process.kill()
+            process.join(timeout=5.0)
+
+
+@dataclass
+class _Fleet:
+    """Collector-side view of the running reader + workers."""
+
+    reader: object
+    workers: list
+    runs: list[list[SlotSummary]] = field(default_factory=list)
+    stats: AggregationStats = field(default_factory=AggregationStats)
+    done: set = field(default_factory=set)
+    reader_done: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.reader_done and len(self.done) == len(self.workers)
+
+    def crashed(self) -> str | None:
+        """Name a participant that died without reporting, if any."""
+        if not self.reader_done and not self.reader.is_alive():
+            return "reader"
+        for worker_id, process in enumerate(self.workers):
+            if worker_id not in self.done and not process.is_alive():
+                return f"worker {worker_id}"
+        return None
+
+    def absorb(self, message: tuple) -> None:
+        tag = message[0]
+        if tag == "slot":
+            _, worker_id, payload = message
+            self.runs[worker_id].append(SlotSummary.from_bytes(payload))
+        elif tag == "done":
+            _, worker_id, stats = message
+            self.done.add(worker_id)
+            self.stats.packets_matched += stats["packets_matched"]
+            self.stats.packets_outside_axis += \
+                stats["packets_outside_axis"]
+            self.stats.bytes_matched += stats["bytes_matched"]
+        elif tag == "reader":
+            _, stats = message
+            self.reader_done = True
+            self.stats.packets_seen += stats["packets_seen"]
+            self.stats.packets_skipped += stats["packets_skipped"]
+            self.stats.packets_unrouted += stats["packets_unrouted"]
+        elif tag == "error":
+            _, who, detail = message
+            raise ReproError(
+                f"parallel ingestion failed in {who}: {detail}"
+            )
+        else:  # pragma: no cover - protocol invariant
+            raise ReproError(f"unknown runner message {tag!r}")
+
+
+def parallel_ingest(source: PacketSource, resolver: "PrefixResolver",
+                    workers: int,
+                    slot_seconds: float = 60.0,
+                    backend: str = "exact",
+                    capacity: int | None = None,
+                    seed: int = 0,
+                    start: float | None = None,
+                    queue_batches: int = DEFAULT_QUEUE_BATCHES,
+                    ) -> ParallelIngestResult:
+    """Ingest a packet stream across ``workers`` shard processes.
+
+    Returns one summary run per worker plus fleet-wide aggregation
+    stats. Classification output over the merged runs is equivalent to
+    a single-process run with ``make_backend(backend, shards=workers)``
+    on the same capture (asserted by the parallel-equivalence property
+    suite): same elephants per slot — up to flows whose latent heat is
+    numerically zero, where the summary wire format's float round trip
+    may flip a knife-edge verdict — and every byte conserved.
+
+    Raises :class:`~repro.errors.ReproError` when the reader or any
+    worker fails — after terminating the whole fleet, so no child
+    outlives the error.
+    """
+    if workers < 1:
+        raise ClassificationError("workers must be >= 1")
+    if slot_seconds <= 0:
+        raise ClassificationError("slot_seconds must be positive")
+    if queue_batches < 1:
+        raise ClassificationError("queue_batches must be >= 1")
+    spec = WorkerSpec(backend=backend, capacity=capacity, seed=seed)
+    spec.validate(workers)
+
+    context = _context()
+    out_queue = context.Queue()
+    in_queues = [context.Queue(maxsize=queue_batches)
+                 for _ in range(workers)]
+    worker_processes = [
+        context.Process(
+            target=_worker_main,
+            args=(worker_id, workers, spec, slot_seconds, start,
+                  in_queues[worker_id], out_queue),
+            daemon=True,
+            name=f"repro-worker-{worker_id}",
+        )
+        for worker_id in range(workers)
+    ]
+    reader = context.Process(
+        target=_reader_main,
+        args=(source, resolver, workers, in_queues, out_queue),
+        daemon=True,
+        name="repro-reader",
+    )
+    fleet = _Fleet(reader=reader, workers=worker_processes,
+                   runs=[[] for _ in range(workers)])
+    processes = [reader, *worker_processes]
+    try:
+        for process in processes:
+            process.start()
+        while not fleet.finished:
+            try:
+                fleet.absorb(out_queue.get(timeout=_POLL_SECONDS))
+                continue
+            except queue_module.Empty:
+                pass
+            crashed = fleet.crashed()
+            if crashed is None:
+                continue
+            # The process is dead but its queue may still hold its
+            # final messages (error reports included); drain with a
+            # grace period before declaring a hard crash.
+            deadline_polls = int(_CRASH_GRACE_SECONDS / _POLL_SECONDS)
+            for _ in range(max(1, deadline_polls)):
+                try:
+                    fleet.absorb(out_queue.get(timeout=_POLL_SECONDS))
+                    break
+                except queue_module.Empty:
+                    continue
+            else:
+                raise ReproError(
+                    f"parallel ingestion failed: {crashed} exited "
+                    "without finishing (killed or crashed hard)"
+                )
+    finally:
+        _shutdown(processes)
+    return ParallelIngestResult(runs=fleet.runs, stats=fleet.stats,
+                                workers=workers, start=start)
+
+
+__all__ = [
+    "DEFAULT_QUEUE_BATCHES",
+    "ParallelIngestResult",
+    "RowResolver",
+    "WorkerSpec",
+    "parallel_ingest",
+]

@@ -52,6 +52,16 @@ class SummaryFormatError(ReproError):
     """A serialized slot summary is malformed or version-incompatible."""
 
 
+class ClockSkewWarning(UserWarning):
+    """Monitor clocks appear skewed beyond a slot boundary.
+
+    Not a :class:`ReproError`: the merge still completes (bytes are
+    conserved either way), but per-slot attribution is suspect — the
+    collector estimated that one monitor's slot grid is offset from the
+    others', so its traffic is being binned into the wrong intervals.
+    """
+
+
 class WorkloadError(ReproError):
     """A synthetic-workload model was configured with invalid parameters."""
 

@@ -38,6 +38,7 @@ from repro.pipeline.engine import (
 )
 from repro.pipeline.sharded import ShardedAggregation, shard_of
 from repro.pipeline.sources import (
+    ArrayPacketSource,
     CsvPacketSource,
     MatrixSlotSource,
     PacketBatch,
@@ -51,6 +52,7 @@ from repro.pipeline.sources import (
 __all__ = [
     "AggregatingSlotSource",
     "AggregationBackend",
+    "ArrayPacketSource",
     "BACKEND_NAMES",
     "CountMinAggregation",
     "CsvPacketSource",

@@ -80,11 +80,56 @@ class StreamingPipeline:
         self.config = config or EngineConfig()
         self.config.validate()
         self.classifier: OnlineClassifier | None = None
+        #: Fleet-wide ingestion stats when built by :meth:`parallel`.
+        self.ingest_stats = None
         detector = make_detector(scheme, beta=self.config.beta)
         self._label = f"{detector.name} {feature.value}"
         self._builder = ElephantSeriesBuilder(
             label=self._label, slot_seconds=source.slot_seconds,
         )
+
+    @classmethod
+    def parallel(cls, packets, resolver, workers: int,
+                 slot_seconds: float = 60.0,
+                 backend: str = "exact",
+                 capacity: int | None = None,
+                 seed: int = 0,
+                 start: float | None = None,
+                 k: int | None = None,
+                 scheme: Scheme = Scheme.CONSTANT_LOAD,
+                 feature: Feature = Feature.LATENT_HEAT,
+                 config: EngineConfig | None = None,
+                 ) -> "StreamingPipeline":
+        """A pipeline fed by multi-process ingestion.
+
+        Runs the capture through
+        :func:`~repro.distributed.runner.parallel_ingest` — one reader
+        process dealing packets to ``workers`` shard workers, each
+        owning a slice of a ``make_backend(backend, shards=workers)``
+        split — then returns a pipeline over the merged slot stream.
+        Ingestion happens *here*, eagerly (the merged population must
+        exist before classification); iterate :meth:`events` for the
+        classification pass. Fleet-wide packet accounting lands in
+        :attr:`ingest_stats`; the merged summaries are reachable as
+        ``pipeline.source.merged``. The CLI's ``stream --workers``
+        inlines this same ingest → collector sequence because it also
+        needs the empty-capture exit-1 contract and the collector
+        artefacts for ``--summary-out``.
+        """
+        # Imported lazily: repro.distributed sits above this module.
+        from repro.distributed.runner import parallel_ingest
+
+        ingest = parallel_ingest(
+            packets, resolver, workers=workers,
+            slot_seconds=slot_seconds, backend=backend,
+            capacity=capacity, seed=seed, start=start,
+        )
+        collector = ingest.collector(k=k, scheme=scheme,
+                                     feature=feature, config=config)
+        pipeline = cls(collector.source(), scheme=scheme,
+                       feature=feature, config=config)
+        pipeline.ingest_stats = ingest.stats
+        return pipeline
 
     @property
     def label(self) -> str:

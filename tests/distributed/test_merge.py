@@ -1,12 +1,15 @@
 """Merge edge cases: the collector must conserve bytes through every
-combination of empty, disjoint, overlapping and truncated summaries."""
+combination of empty, disjoint, overlapping and truncated summaries —
+and flag monitors whose clocks drifted past a slot boundary."""
+
+import warnings
 
 import numpy as np
 import pytest
 
-from repro.distributed import merge_runs, merge_summaries
+from repro.distributed import estimate_clock_skew, merge_runs, merge_summaries
 from repro.distributed.summary import SlotSummary
-from repro.errors import ClassificationError
+from repro.errors import ClassificationError, ClockSkewWarning
 from repro.net.prefix import Prefix
 
 
@@ -180,3 +183,99 @@ class TestMergeRuns:
         assert merged[0].num_entries == 3
         total = sum(s.total_bytes for s in mon_a + mon_b)
         assert merged[0].total_bytes == pytest.approx(total)
+
+
+def varied_run(monitor="m", slots=8, shift=0, seed=5, scale=1.0):
+    """A run with strongly varying per-slot totals, optionally shifted
+    ``shift`` whole slots later (a skewed monitor clock)."""
+    rng = np.random.default_rng(seed)
+    volumes = rng.uniform(10.0, 1000.0, size=slots)
+    return [
+        summary([("10.0.0.0/16", float(volumes[s]) * scale)],
+                slot=s + shift, monitor=monitor)
+        for s in range(slots)
+    ]
+
+
+class TestGapFilling:
+    def test_default_keeps_holes(self):
+        mon = [summary([("10.0.0.0/16", 1.0)], slot=s) for s in (0, 3)]
+        merged = merge_runs([mon])
+        assert [m.slot for m in merged] == [0, 3]
+
+    def test_fill_gaps_emits_empty_slots(self):
+        mon_a = [summary([("10.0.0.0/16", 1.0)], slot=0)]
+        mon_b = [summary([("10.1.0.0/16", 2.0)], slot=3)]
+        merged = merge_runs([mon_a, mon_b], fill_gaps=True)
+        assert [m.slot for m in merged] == [0, 1, 2, 3]
+        assert [m.start for m in merged] == [0.0, 60.0, 120.0, 180.0]
+        assert merged[1].num_entries == 0
+        assert merged[1].total_bytes == 0.0
+        assert merged[2].slot_seconds == 60.0
+
+    def test_fill_gaps_noop_when_contiguous(self):
+        mon = [summary([("10.0.0.0/16", 1.0)], slot=s) for s in range(3)]
+        gapless = merge_runs([mon], fill_gaps=True)
+        plain = merge_runs([mon])
+        assert [m.slot for m in gapless] == [m.slot for m in plain]
+
+
+class TestClockSkew:
+    def test_aligned_monitors_estimate_zero_and_stay_quiet(self):
+        runs = [varied_run("a"), varied_run("b", scale=0.5)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ClockSkewWarning)
+            merged = merge_runs(runs)
+        assert merged.skew_estimate == {0: 0.0, 1: 0.0}
+        assert merged.max_abs_skew == 0.0
+
+    def test_shifted_monitor_warns_with_the_offset(self):
+        # monitor b carries the same totals one slot later: its clock
+        # reads 60 s ahead of the fleet's
+        runs = [varied_run("a"), varied_run("b", shift=1, scale=0.5)]
+        with pytest.warns(ClockSkewWarning, match=r"\+60"):
+            merged = merge_runs(runs)
+        assert merged.skew_estimate[1] == 60.0
+        assert merged.max_abs_skew == 60.0
+
+    def test_behind_clock_estimates_negative(self):
+        runs = [varied_run("a", slots=10),
+                varied_run("b", slots=10, shift=-2, scale=2.0)]
+        with pytest.warns(ClockSkewWarning, match="-120"):
+            merged = merge_runs(runs)
+        assert merged.skew_estimate[1] == -120.0
+
+    def test_check_skew_off_skips_the_estimate(self):
+        runs = [varied_run("a"), varied_run("b", shift=1)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ClockSkewWarning)
+            merged = merge_runs(runs, check_skew=False)
+        assert merged.skew_estimate == {0: 0.0, 1: 0.0}
+
+    def test_short_overlap_is_not_evidence(self):
+        runs = [varied_run("a", slots=3), varied_run("b", slots=3,
+                                                     shift=1)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ClockSkewWarning)
+            merged = merge_runs(runs)
+        assert merged.skew_estimate[1] == 0.0
+
+    def test_constant_totals_are_not_evidence(self):
+        flat_a = [summary([("10.0.0.0/16", 100.0)], slot=s, monitor="a")
+                  for s in range(8)]
+        flat_b = [summary([("10.1.0.0/16", 50.0)], slot=s + 1,
+                          monitor="b")
+                  for s in range(8)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ClockSkewWarning)
+            merged = merge_runs([flat_a, flat_b])
+        assert merged.skew_estimate[1] == 0.0
+
+    def test_single_run_estimates_nothing(self):
+        assert estimate_clock_skew([varied_run()]) == {0: 0.0}
+
+    def test_merge_result_still_behaves_like_a_list(self):
+        merged = merge_runs([varied_run("a")])
+        assert isinstance(merged, list)
+        assert merged[0].slot == 0
+        assert len(merged) == 8

@@ -1,0 +1,204 @@
+"""Multi-process ingestion: worker-per-shard runner → one collector.
+
+The runner's contract is equivalence with the in-process sharded path
+(covered exhaustively by the property suite) plus *operational*
+behaviour no property can express: crashes surface as one clean
+``ReproError`` with no orphaned processes, stats compose across the
+fleet, and empty/degenerate streams do not wedge anything.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    RowResolver,
+    WorkerSpec,
+    parallel_ingest,
+)
+from repro.errors import ClassificationError, ReproError
+from repro.net.prefix import Prefix
+from repro.pipeline import (
+    AggregatingSlotSource,
+    ArrayPacketSource,
+    StreamingAggregator,
+    StreamingPipeline,
+    make_backend,
+)
+from repro.routing.lpm import CompiledLpm, FixedLengthResolver
+
+SLOT_SECONDS = 60.0
+
+
+def packet_arrays(seed=9, packets=4000, flows=30, horizon=240.0):
+    rng = np.random.default_rng(seed)
+    timestamps = np.sort(rng.uniform(0.0, horizon, packets))
+    flow = rng.integers(0, flows, packets)
+    destinations = (10 << 24) | (flow << 16) | 5
+    sizes = (rng.pareto(1.3, packets) * 250 + 64).clip(64, 1500)
+    return timestamps, destinations, sizes.astype(np.int64)
+
+
+def ingest(workers, backend="exact", capacity=None, **kwargs):
+    timestamps, destinations, sizes = packet_arrays()
+    source = ArrayPacketSource(timestamps, destinations, sizes,
+                               chunk_packets=600)
+    return parallel_ingest(
+        source, FixedLengthResolver(16), workers=workers,
+        slot_seconds=SLOT_SECONDS, backend=backend, capacity=capacity,
+        **kwargs,
+    )
+
+
+def elephants_by_start(events):
+    return {event.frame.start: frozenset(event.elephant_prefixes)
+            for event in events}
+
+
+def assert_no_orphans():
+    assert multiprocessing.active_children() == []
+
+
+class TestParallelIngest:
+    def test_conserves_every_byte(self):
+        timestamps, destinations, sizes = packet_arrays()
+        result = ingest(workers=2)
+        streamed = sum(summary.total_bytes
+                       for run in result.runs for summary in run)
+        assert streamed == pytest.approx(float(sizes.sum()), rel=1e-12)
+        assert result.stats.bytes_matched == int(sizes.sum())
+        assert result.stats.packets_seen == timestamps.size
+        assert result.stats.packets_matched == timestamps.size
+        assert_no_orphans()
+
+    def test_matches_single_process_sharded_run(self):
+        workers = 2
+        timestamps, destinations, sizes = packet_arrays()
+        source = ArrayPacketSource(timestamps, destinations, sizes,
+                                   chunk_packets=600)
+        aggregator = StreamingAggregator(
+            FixedLengthResolver(16), slot_seconds=SLOT_SECONDS,
+            backend=make_backend("exact", shards=workers),
+        )
+        reference = elephants_by_start(StreamingPipeline(
+            AggregatingSlotSource(source, aggregator)
+        ).events())
+        merged = elephants_by_start(
+            ingest(workers=workers).collector().events()
+        )
+        assert merged == reference
+
+    def test_sketch_workers_split_capacity_like_shards(self):
+        result = ingest(workers=2, backend="space-saving", capacity=10)
+        # ceil(10 / 2) entries per worker, never more tracked at once
+        for run in result.runs:
+            assert max(summary.num_entries for summary in run) <= 5
+
+    def test_worker_runs_are_slot_ordered_summaries(self):
+        result = ingest(workers=2)
+        for worker_id, run in enumerate(result.runs):
+            slots = [summary.slot for summary in run]
+            assert slots == sorted(slots)
+            assert all(summary.monitor == f"worker{worker_id}"
+                       for summary in run)
+
+    def test_unrouted_packets_counted_at_the_reader(self):
+        timestamps, destinations, sizes = packet_arrays()
+        # a one-prefix table: everything outside 10.0.0.0/16 unrouted
+        resolver = CompiledLpm([Prefix.parse("10.0.0.0/16")])
+        source = ArrayPacketSource(timestamps, destinations, sizes)
+        result = parallel_ingest(source, resolver, workers=2,
+                                 slot_seconds=SLOT_SECONDS)
+        routed = int((destinations >> 16 == (10 << 8)).sum())
+        assert result.stats.packets_matched == routed
+        assert result.stats.packets_unrouted == timestamps.size - routed
+
+    def test_empty_source_produces_no_runs(self):
+        source = ArrayPacketSource(np.zeros(0), np.zeros(0, np.int64),
+                                   np.zeros(0, np.int64))
+        result = parallel_ingest(source, FixedLengthResolver(16),
+                                 workers=2, slot_seconds=SLOT_SECONDS)
+        assert all(not run for run in result.runs)
+        with pytest.raises(ClassificationError):
+            result.collector()
+        assert_no_orphans()
+
+    def test_invalid_parameters_fail_before_forking(self):
+        source = ArrayPacketSource(np.zeros(0), np.zeros(0, np.int64),
+                                   np.zeros(0, np.int64))
+        with pytest.raises(ClassificationError):
+            parallel_ingest(source, FixedLengthResolver(16), workers=0)
+        with pytest.raises(ClassificationError):
+            parallel_ingest(source, FixedLengthResolver(16), workers=2,
+                            backend="space-saving")  # needs capacity
+        with pytest.raises(ClassificationError):
+            parallel_ingest(source, FixedLengthResolver(16), workers=2,
+                            slot_seconds=0.0)
+        assert_no_orphans()
+
+
+class TestCrashHandling:
+    def test_worker_failure_is_one_clean_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "worker:0")
+        with pytest.raises(ReproError, match="worker0"):
+            ingest(workers=2)
+        assert_no_orphans()
+
+    def test_hard_worker_crash_detected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "worker:1:hard")
+        with pytest.raises(ReproError, match="worker 1 exited"):
+            ingest(workers=2)
+        assert_no_orphans()
+
+    def test_reader_failure_is_one_clean_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "reader")
+        with pytest.raises(ReproError, match="reader"):
+            ingest(workers=2)
+        assert_no_orphans()
+
+
+class TestWorkerSpec:
+    def test_single_worker_gets_the_whole_backend(self):
+        backend = WorkerSpec("space-saving", capacity=8).build(0, 1)
+        assert backend.capacity == 8
+
+    def test_fleet_splits_capacity_like_make_backend(self):
+        sharded = make_backend("space-saving", capacity=10, shards=3)
+        spec = WorkerSpec("space-saving", capacity=10)
+        for worker_id in range(3):
+            built = spec.build(worker_id, 3)
+            assert built.capacity == sharded.shards[worker_id].capacity
+
+    def test_validate_rejects_bad_specs(self):
+        with pytest.raises(ClassificationError):
+            WorkerSpec("space-saving").validate(2)
+        with pytest.raises(ClassificationError):
+            WorkerSpec("exact", capacity=4).validate(2)
+        with pytest.raises(ClassificationError):
+            WorkerSpec("no-such-backend", capacity=4).validate(2)
+
+
+class TestRowResolver:
+    def test_identity_lookup_over_grown_table(self):
+        resolver = RowResolver([Prefix.parse("10.0.0.0/16")])
+        resolver.extend([Prefix.parse("10.1.0.0/16").network], [16])
+        assert len(resolver) == 2
+        keys = resolver.lookup(np.array([1, 0, 1]))
+        assert keys.tolist() == [1, 0, 1]
+        assert resolver.prefixes[1] == Prefix.parse("10.1.0.0/16")
+
+
+class TestPipelineParallel:
+    def test_pipeline_classmethod_carries_fleet_stats(self):
+        timestamps, destinations, sizes = packet_arrays(packets=2000)
+        pipeline = StreamingPipeline.parallel(
+            ArrayPacketSource(timestamps, destinations, sizes),
+            FixedLengthResolver(16), workers=2,
+            slot_seconds=SLOT_SECONDS,
+        )
+        events = list(pipeline.events())
+        assert events
+        assert pipeline.ingest_stats is not None
+        assert pipeline.ingest_stats.packets_matched == timestamps.size
+        assert_no_orphans()

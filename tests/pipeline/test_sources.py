@@ -20,6 +20,7 @@ from repro.pcap.pcapfile import (
     PcapWriter,
 )
 from repro.pipeline.sources import (
+    ArrayPacketSource,
     CsvPacketSource,
     MatrixSlotSource,
     PcapPacketSource,
@@ -161,6 +162,37 @@ class TestCsvPacketSource:
             stream.write("1.0,10.0.0.1\n")
         with pytest.raises(ClassificationError):
             list(CsvPacketSource(path).batches())
+
+
+class TestArrayPacketSource:
+    def test_chunks_preserve_order_and_content(self):
+        timestamps = np.arange(10, dtype=float)
+        destinations = np.arange(10, dtype=np.int64) + 100
+        sizes = np.full(10, 64, dtype=np.int64)
+        source = ArrayPacketSource(timestamps, destinations, sizes,
+                                   chunk_packets=4)
+        batches = list(source.batches())
+        assert [b.num_packets for b in batches] == [4, 4, 2]
+        assert sum(b.packets_seen for b in batches) == 10
+        rejoined = np.concatenate([b.destinations for b in batches])
+        assert np.array_equal(rejoined, destinations)
+        assert all(b.packets_skipped == 0 for b in batches)
+
+    def test_empty_source_yields_nothing(self):
+        source = ArrayPacketSource(np.zeros(0), np.zeros(0, np.int64),
+                                   np.zeros(0, np.int64))
+        assert list(source.batches()) == []
+        assert source.num_packets == 0
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ClassificationError):
+            ArrayPacketSource(np.zeros(3), np.zeros(2, np.int64),
+                              np.zeros(3, np.int64))
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ClassificationError):
+            ArrayPacketSource(np.zeros(1), np.zeros(1, np.int64),
+                              np.zeros(1, np.int64), chunk_packets=0)
 
 
 class TestSlotSources:

@@ -272,6 +272,132 @@ class TestMerge:
         assert "grid" in capsys.readouterr().err
 
 
+class TestStreamParallel:
+    def test_workers_match_single_process_stream(self, stream_capture,
+                                                 capsys):
+        assert main(["stream", stream_capture["pcap"], "--json",
+                     "--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert main(["stream", stream_capture["pcap"], "--json",
+                     "--shards", "2"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert parallel["workers"] == 2
+        assert parallel["num_slots"] == sharded["num_slots"]
+        assert parallel["num_flows"] == sharded["num_flows"]
+        assert parallel["bytes_matched"] == sharded["bytes_matched"]
+        assert parallel["mean_elephants_per_slot"] == \
+            sharded["mean_elephants_per_slot"]
+
+    def test_sketch_workers_report_total_capacity(self, stream_capture,
+                                                  capsys):
+        assert main(["stream", stream_capture["pcap"], "--json",
+                     "--workers", "2", "--backend", "space-saving",
+                     "--capacity", "8"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["capacity"] == 8
+        assert 0.0 <= summary["mean_residual_fraction"] <= 1.0
+
+    def test_workers_summary_out_feeds_merge(self, stream_capture,
+                                             tmp_path, capsys):
+        path = str(tmp_path / "merged.npz")
+        assert main(["stream", stream_capture["pcap"], "--quiet",
+                     "--workers", "2", "--summary-out", path]) == 0
+        capsys.readouterr()
+        assert main(["merge", path, "--quiet"]) == 0
+
+    def test_workers_reject_matrix_replay(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["npz"],
+                     "--workers", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "packet input" in err
+
+    def test_workers_and_shards_conflict(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"], "--workers", "2",
+                     "--shards", "2"]) == 2
+        assert "alternatives" in capsys.readouterr().err
+
+    def test_workers_below_one(self, stream_capture, capsys):
+        assert main(["stream", stream_capture["pcap"],
+                     "--workers", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_crashing_worker_exits_2_cleanly(self, stream_capture,
+                                             monkeypatch, capsys):
+        """A dead worker is one error: line, exit 2, no traceback, no
+        orphaned processes — the contract a monitor wrapper keys on."""
+        import multiprocessing
+
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "worker:0")
+        assert main(["stream", stream_capture["pcap"], "--quiet",
+                     "--workers", "2"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+        assert "Traceback" not in captured.out
+        assert multiprocessing.active_children() == []
+
+    def test_hard_crash_exits_2_cleanly(self, stream_capture,
+                                        monkeypatch, capsys):
+        import multiprocessing
+
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "worker:1:hard")
+        assert main(["stream", stream_capture["pcap"], "--quiet",
+                     "--workers", "2"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+        assert multiprocessing.active_children() == []
+
+
+class TestMergeFormatErrors:
+    def test_truncated_summary_file_is_clean_exit_2(self, stream_capture,
+                                                    tmp_path, capsys):
+        """A summary artefact cut off mid-write must not traceback."""
+        whole = str(tmp_path / "whole.npz")
+        assert main(["stream", stream_capture["pcap"], "--quiet",
+                     "--summary-out", whole]) == 0
+        capsys.readouterr()
+        with open(whole, "rb") as stream:
+            payload = stream.read()
+        cut = str(tmp_path / "cut.npz")
+        with open(cut, "wb") as stream:
+            stream.write(payload[:len(payload) // 2])
+        assert main(["merge", cut]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_truncated_summary_raises_format_error(self, stream_capture,
+                                                   tmp_path):
+        from repro.distributed import load_summaries
+        from repro.errors import SummaryFormatError
+
+        whole = str(tmp_path / "whole.npz")
+        assert main(["stream", stream_capture["pcap"], "--quiet",
+                     "--summary-out", whole]) == 0
+        with open(whole, "rb") as stream:
+            payload = stream.read()
+        cut = str(tmp_path / "cut.npz")
+        with open(cut, "wb") as stream:
+            stream.write(payload[:len(payload) // 2])
+        with pytest.raises(SummaryFormatError):
+            load_summaries(cut)
+
+    def test_corrupt_summary_bytes_raise_format_error(self):
+        from repro.distributed import SlotSummary
+        from repro.errors import SummaryFormatError
+
+        record = SlotSummary(
+            slot=0, start=0.0, slot_seconds=60.0,
+            prefixes=(Prefix.parse("10.0.0.0/16"),),
+            volumes=np.array([10.0]),
+        ).to_bytes()
+        with pytest.raises(SummaryFormatError):
+            SlotSummary.from_bytes(record[:-3])
+        with pytest.raises(SummaryFormatError):
+            SlotSummary.from_bytes(b"XXXX" + record[4:])
+
+
 class TestStreamErrors:
     def test_capacity_below_one(self, stream_capture, capsys):
         assert main(["stream", stream_capture["pcap"], "--backend",
