@@ -13,6 +13,8 @@ count, Space-Saving must recover >= 90% of the exact run's
 flow-slot elephant verdicts.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -83,14 +85,15 @@ def test_sketch_backend_accuracy(capture, report_writer):
                           sampling_probability=1e-4)
         for name in names
     ]
-    comparisons = [
-        score_against(
-            reference,
-            run_backend(make_source, make_resolver, SLOT_SECONDS,
-                        backend=backend),
-        )
-        for backend in backends
-    ]
+    comparisons = []
+    throughput = []
+    for backend in backends:
+        started = time.perf_counter()
+        run = run_backend(make_source, make_resolver, SLOT_SECONDS,
+                          backend=backend)
+        elapsed = time.perf_counter() - started
+        comparisons.append(score_against(reference, run))
+        throughput.append(packets / elapsed)
 
     lines = [
         f"capture: {packets} packets, {len(prefixes)} prefixes, "
@@ -101,11 +104,12 @@ def test_sketch_backend_accuracy(capture, report_writer):
         f"capacity K = {CAPACITY_FACTOR} x {true_elephants} "
         f"= {capacity}",
         "",
-        " | ".join(COMPARISON_COLUMNS),
+        " | ".join(COMPARISON_COLUMNS + ["pkt/s"]),
     ]
-    for comparison in comparisons:
-        lines.append(" | ".join(str(cell)
-                                for cell in comparison.as_row()))
+    for comparison, pps in zip(comparisons, throughput):
+        lines.append(" | ".join([str(cell)
+                                 for cell in comparison.as_row()]
+                                + [f"{pps:.0f}"]))
         assert comparison.run.peak_tracked <= capacity
     report_writer("bench_streaming_sketch", "\n".join(lines))
 

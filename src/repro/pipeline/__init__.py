@@ -17,7 +17,12 @@ from repro.pipeline.aggregator import (
 from repro.pipeline.backends import (
     BACKEND_NAMES,
     RESIDUAL_PREFIX,
+    SKETCH_ENGINES,
     AggregationBackend,
+    ArrayCountMinAggregation,
+    ArrayMisraGriesAggregation,
+    ArraySketchAggregation,
+    ArraySpaceSavingAggregation,
     CountMinAggregation,
     ExactAggregation,
     MisraGriesAggregation,
@@ -52,13 +57,18 @@ from repro.pipeline.sources import (
 __all__ = [
     "AggregatingSlotSource",
     "AggregationBackend",
+    "ArrayCountMinAggregation",
+    "ArrayMisraGriesAggregation",
     "ArrayPacketSource",
+    "ArraySketchAggregation",
+    "ArraySpaceSavingAggregation",
     "BACKEND_NAMES",
     "CountMinAggregation",
     "CsvPacketSource",
     "ExactAggregation",
     "MisraGriesAggregation",
     "RESIDUAL_PREFIX",
+    "SKETCH_ENGINES",
     "SampleHoldAggregation",
     "ShardedAggregation",
     "shard_of",

@@ -14,7 +14,9 @@ needs no time axis up front and no fixed flow population:
   :class:`~repro.pipeline.backends.AggregationBackend`. The default
   exact backend gives every prefix its own permanent row the first
   time it carries bytes; sketch backends bound the tracked table at a
-  fixed capacity and conserve untracked bytes in a residual row.
+  fixed capacity and conserve untracked bytes in a residual row, with
+  the array engine (the default) running the per-batch accounting as
+  vectorized kernels end to end.
 
 State is one open slot's accounting plus the backend's flow table —
 O(flows) for exact, O(capacity) *tracked* state for sketches. Sketch
@@ -80,12 +82,15 @@ class StreamingAggregator:
     ``capacity`` as the total bound.
     """
 
-    def __init__(self, resolver: PrefixResolver | RoutingTable,
-                 slot_seconds: float = DEFAULT_SLOT_SECONDS,
-                 start: float | None = None,
-                 backend: AggregationBackend | str | None = None,
-                 capacity: int | None = None,
-                 shards: int = 1) -> None:
+    def __init__(
+        self,
+        resolver: PrefixResolver | RoutingTable,
+        slot_seconds: float = DEFAULT_SLOT_SECONDS,
+        start: float | None = None,
+        backend: AggregationBackend | str | None = None,
+        capacity: int | None = None,
+        shards: int = 1,
+    ) -> None:
         if slot_seconds <= 0:
             raise ClassificationError("slot_seconds must be positive")
         if isinstance(resolver, RoutingTable):
@@ -96,8 +101,9 @@ class StreamingAggregator:
         if backend is None:
             backend = ExactAggregation()
         elif isinstance(backend, str):
-            backend = make_backend(backend, capacity=capacity,
-                                   shards=shards)
+            backend = make_backend(
+                backend, capacity=capacity, shards=shards
+            )
         elif shards > 1:
             # an instance backend cannot be re-partitioned here; going
             # on with one table would silently drop the caller's
@@ -137,11 +143,17 @@ class StreamingAggregator:
         ``start``, traffic may begin several slots in; no frames are
         emitted for the silent lead-in).
         """
-        if (self.start is None or self._first_slot is None
-                or self._frames_emitted == 0):
+        if (
+            self.start is None
+            or self._first_slot is None
+            or self._frames_emitted == 0
+        ):
             raise ClassificationError("no slots emitted yet")
-        return TimeAxis(self.start + self._first_slot * self.slot_seconds,
-                        self.slot_seconds, self._frames_emitted)
+        return TimeAxis(
+            self.start + self._first_slot * self.slot_seconds,
+            self.slot_seconds,
+            self._frames_emitted,
+        )
 
     def flow_records(self) -> list[FlowRecord]:
         """Per-flow accounting records, in row order."""
@@ -163,8 +175,9 @@ class StreamingAggregator:
         timestamps = batch.timestamps
         if self.start is None:
             first = float(timestamps[0])
-            self.start = math.floor(first / self.slot_seconds) \
-                * self.slot_seconds
+            self.start = (
+                math.floor(first / self.slot_seconds) * self.slot_seconds
+            )
 
         rows = self.resolver.lookup(batch.destinations)
         routed = rows != NO_ROUTE
@@ -190,24 +203,33 @@ class StreamingAggregator:
         # hand each group to the backend, so the population a frame
         # carries is exactly the set of flows tracked up to that slot —
         # independent of how the capture was chunked into batches.
+        # Chronological captures arrive already slot-sorted, so the
+        # stable sort only runs for genuinely out-of-order batches.
         frames: list[SlotFrame] = []
-        order = np.argsort(slots, kind="stable")
-        slots, sizes, rows, timestamps = (
-            slots[order], sizes[order], rows[order], timestamps[order]
-        )
+        if slots.size > 1 and (np.diff(slots) < 0).any():
+            order = np.argsort(slots, kind="stable")
+            slots, sizes, rows, timestamps = (
+                slots[order],
+                sizes[order],
+                rows[order],
+                timestamps[order],
+            )
         boundaries = np.flatnonzero(np.diff(slots)) + 1
         prefix_of = self._prefix_of
         for group_slots, group_rows, group_sizes, group_times in zip(
-            np.split(slots, boundaries), np.split(rows, boundaries),
-            np.split(sizes, boundaries), np.split(timestamps, boundaries),
+            np.split(slots, boundaries),
+            np.split(rows, boundaries),
+            np.split(sizes, boundaries),
+            np.split(timestamps, boundaries),
         ):
             slot = int(group_slots[0])
             if self._open_slot is None:
                 self._open_slot = slot
             while self._open_slot < slot:
                 frames.append(self._emit_open())
-            self.backend.accumulate(group_rows, group_sizes, group_times,
-                                    prefix_of)
+            self.backend.accumulate(
+                group_rows, group_sizes, group_times, prefix_of
+            )
         return frames
 
     def finish(self) -> list[SlotFrame]:
@@ -256,8 +278,9 @@ class AggregatingSlotSource:
     in, classified slots out, one pass, bounded memory.
     """
 
-    def __init__(self, packets: PacketSource,
-                 aggregator: StreamingAggregator) -> None:
+    def __init__(
+        self, packets: PacketSource, aggregator: StreamingAggregator
+    ) -> None:
         self.packets = packets
         self.aggregator = aggregator
         self.slot_seconds = aggregator.slot_seconds

@@ -7,12 +7,25 @@ memory bill. This module makes the flow table a strategy object:
 
 - :class:`ExactAggregation` keeps the original semantics — every flow
   tracked exactly, no residual, state O(distinct flows);
-- the :class:`SketchAggregation` family bounds the candidate table at
-  ``capacity`` entries using a classic heavy-hitter summary
-  (Space-Saving, Misra–Gries, Count-Min + candidate heap,
-  Sample-and-Hold). Bytes of untracked flows are conserved in a
-  dedicated *residual row* (prefix ``0.0.0.0/0``, always row 0), so
-  every emitted slot still sums to the traffic that arrived.
+- the bounded backends cap the candidate table at ``capacity`` entries
+  using a classic heavy-hitter summary (Space-Saving, Misra–Gries,
+  Count-Min + candidate table, Sample-and-Hold). Bytes of untracked
+  flows are conserved in a dedicated *residual row* (prefix
+  ``0.0.0.0/0``, always row 0), so every emitted slot still sums to
+  the traffic that arrived.
+
+Every bounded summary ships in two engines. The **scalar** engine
+(:class:`SketchAggregation` family) feeds the reference dict-and-heap
+sketches in :mod:`repro.sketches` one key at a time — the semantics
+oracle the property suite tests against. The **array** engine
+(:class:`ArraySketchAggregation` family, the default) runs the same
+summaries as flat struct-of-arrays candidate tables
+(:mod:`repro.sketches.array_tables`) with one vectorized
+probe/admit/evict pass per batch and per-slot accumulators held as
+parallel arrays — no Python work per key on the hot path. For
+single-key batches the engines agree exactly; for real batches the
+array engine follows the tables' documented batch semantics and the
+CI bench gates its throughput against the scalar baseline.
 
 Row semantics under a sketch: a flow earns a stream row the first time
 it is still tracked when a slot closes — surviving one slot boundary is
@@ -41,6 +54,12 @@ from repro.errors import ClassificationError
 from repro.flows.records import FlowRecord, grouped_packet_stats
 from repro.net.prefix import Prefix
 from repro.pipeline.sources import SlotFrame, SlotSource
+from repro.sketches.array_tables import (
+    ArrayCountMin,
+    ArrayMisraGries,
+    ArraySpaceSaving,
+    _KeyTable,
+)
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.misra_gries import MisraGries
 from repro.sketches.sample_hold import SampleAndHold
@@ -53,9 +72,15 @@ from repro.sketches.space_saving import SpaceSaving
 #: must stay duplicate-free.
 RESIDUAL_PREFIX = Prefix(0, 0)
 
-#: Rough per-tracked-entry cost in bytes: sketch dict slot, pending
-#: slot accumulator, row map entry and FlowRecord, amortised.
+#: Rough per-tracked-entry cost in bytes for the scalar engine: sketch
+#: dict slot, pending slot accumulator, row map entry and FlowRecord,
+#: amortised. The byte-budget sizing keeps using this conservative
+#: number for both engines, so a budgeted deployment never under-buys.
 TRACKED_ENTRY_BYTES = 320
+#: Per-tracked-entry cost of the array engine's flat layout: key,
+#: count, error, six pending-accumulator cells and the row cache at
+#: 8 B each, plus a 4x open-addressing bucket index.
+ARRAY_ENTRY_BYTES = 112
 #: Extra Count-Min table cells per unit of capacity (width factor x
 #: depth x 8-byte counters).
 _CM_WIDTH_FACTOR = 4
@@ -97,8 +122,13 @@ class AggregationBackend(abc.ABC):
         """Flows currently held in bounded state."""
 
     @abc.abstractmethod
-    def accumulate(self, keys: np.ndarray, sizes: np.ndarray,
-                   timestamps: np.ndarray, prefix_of: PrefixOf) -> None:
+    def accumulate(
+        self,
+        keys: np.ndarray,
+        sizes: np.ndarray,
+        timestamps: np.ndarray,
+        prefix_of: PrefixOf,
+    ) -> None:
         """Account one group of same-slot packets, keyed by flow."""
 
     @abc.abstractmethod
@@ -132,6 +162,9 @@ class ExactAggregation(AggregationBackend):
     This is the flow table the original ``StreamingAggregator``
     carried, extracted behind the backend interface: a prefix gets the
     next free row the first time it carries bytes and keeps it forever.
+    Flow keys are resolver rows — dense small integers — so the
+    key → row map is a flat vector and the open-slot accumulator grows
+    geometrically, leaving no per-batch rebuild work on the hot path.
     """
 
     name = "exact"
@@ -140,46 +173,69 @@ class ExactAggregation(AggregationBackend):
     def __init__(self) -> None:
         super().__init__()
         self._open = np.zeros(0)
+        self._key_row = np.full(0, -1, dtype=np.int64)
 
     @property
     def tracked_flows(self) -> int:
         return len(self.prefixes)
 
-    def accumulate(self, keys: np.ndarray, sizes: np.ndarray,
-                   timestamps: np.ndarray, prefix_of: PrefixOf) -> None:
+    def accumulate(
+        self,
+        keys: np.ndarray,
+        sizes: np.ndarray,
+        timestamps: np.ndarray,
+        prefix_of: PrefixOf,
+    ) -> None:
+        if keys.size == 0:
+            return
         unique, first_index = np.unique(keys, return_index=True)
-        # Rows are assigned in first-traffic order (keys arrive
-        # time-ordered within a slot group), so the numbering does not
-        # depend on how the capture was chunked into batches.
-        for key in unique[np.argsort(first_index)].tolist():
-            if key not in self._row_of:
-                self._row_of[key] = len(self.prefixes)
+        top = int(unique[-1]) + 1
+        size = self._key_row.size
+        if top > size:
+            grown = np.full(max(top, 2 * size), -1, dtype=np.int64)
+            grown[:size] = self._key_row
+            self._key_row = grown
+        known = self._key_row[unique]
+        new = known < 0
+        if new.any():
+            # Rows are assigned in first-traffic order (keys arrive
+            # time-ordered within a slot group), so the numbering does
+            # not depend on how the capture was chunked into batches.
+            fresh = unique[new]
+            arrival = np.argsort(first_index[new])
+            for key in fresh[arrival].tolist():
+                row = len(self.prefixes)
+                self._row_of[key] = row
+                self._key_row[key] = row
                 prefix = prefix_of(key)
                 self.prefixes.append(prefix)
                 self._records.append(FlowRecord(prefix))
-        if len(self.prefixes) > self._open.size:
-            grown = np.zeros(len(self.prefixes))
-            grown[:self._open.size] = self._open
+        population = len(self.prefixes)
+        size = self._open.size
+        if population > size:
+            grown = np.zeros(max(population, 2 * size))
+            grown[:size] = self._open
             self._open = grown
-        table = np.array([self._row_of[key] for key in unique.tolist()],
-                         dtype=np.int64)
-        rows = table[np.searchsorted(unique, keys)]
+        rows = self._key_row[keys]
         np.add.at(self._open, rows, sizes)
         counts, byte_sums, first, last = grouped_packet_stats(
-            rows, sizes, timestamps, len(self.prefixes),
+            rows, sizes, timestamps, population
         )
         for row in np.flatnonzero(counts).tolist():
             self._records[row].add_group(
-                int(counts[row]), int(byte_sums[row]),
-                float(first[row]), float(last[row]),
+                int(counts[row]),
+                int(byte_sums[row]),
+                float(first[row]),
+                float(last[row]),
             )
-        self.peak_tracked = max(self.peak_tracked, len(self.prefixes))
+        self.peak_tracked = max(self.peak_tracked, population)
 
     def close_slot(self) -> np.ndarray:
-        # accumulate() keeps _open sized to the population, and the
-        # population only grows there, so no resize is needed here
-        closed = self._open
-        self._open = np.zeros(len(self.prefixes))
+        # accumulate() keeps _open at least population-sized (growing
+        # geometrically); the emitted vector covers exactly the rows
+        population = len(self.prefixes)
+        closed = self._open[:population].copy()
+        self._open[:population] = 0.0
         self.slots_closed += 1
         return closed
 
@@ -196,8 +252,9 @@ class _PendingEntry:
         self.last = -math.inf
         self.prefix = prefix
 
-    def add(self, weight: float, packets: int, first: float,
-            last: float) -> None:
+    def add(
+        self, weight: float, packets: int, first: float, last: float
+    ) -> None:
         self.bytes += weight
         self.packets += packets
         self.first = min(self.first, first)
@@ -205,13 +262,14 @@ class _PendingEntry:
 
 
 class SketchAggregation(AggregationBackend):
-    """Base for bounded backends: sketch + residual-row bookkeeping.
+    """Base for scalar bounded backends: sketch + residual bookkeeping.
 
     Subclasses provide the summary itself via :meth:`_offer` (feed one
     weighted key, report whether it is tracked afterwards) and
     :meth:`_tracked`. This class owns the slot-local candidate
     accounting, the prune-on-eviction step that keeps the candidate
-    table at ``capacity``, and the row assignment at slot close.
+    table at ``capacity``, and the row assignment at slot close. It is
+    the reference implementation the array engine is tested against.
     """
 
     residual_row = 0
@@ -234,10 +292,15 @@ class SketchAggregation(AggregationBackend):
     def _tracked(self, key: int) -> bool:
         """Is ``key`` currently held by the sketch?"""
 
-    def accumulate(self, keys: np.ndarray, sizes: np.ndarray,
-                   timestamps: np.ndarray, prefix_of: PrefixOf) -> None:
+    def accumulate(
+        self,
+        keys: np.ndarray,
+        sizes: np.ndarray,
+        timestamps: np.ndarray,
+        prefix_of: PrefixOf,
+    ) -> None:
         unique, first_index, inverse = np.unique(
-            keys, return_index=True, return_inverse=True,
+            keys, return_index=True, return_inverse=True
         )
         packets = np.bincount(inverse)
         weights = np.bincount(inverse, weights=sizes)
@@ -252,8 +315,12 @@ class SketchAggregation(AggregationBackend):
         for i in np.argsort(first_index).tolist():
             key = int(unique[i])
             weight = float(weights[i])
-            group = (weight, int(packets[i]), float(first[i]),
-                     float(last[i]))
+            group = (
+                weight,
+                int(packets[i]),
+                float(first[i]),
+                float(last[i]),
+            )
             if self._offer(key, weight):
                 entry = self._pending.get(key)
                 if entry is None:
@@ -268,8 +335,9 @@ class SketchAggregation(AggregationBackend):
         evicted = [key for key in self._pending if not self._tracked(key)]
         for key in evicted:
             entry = self._pending.pop(key)
-            self._residual.add(entry.bytes, entry.packets, entry.first,
-                               entry.last)
+            self._residual.add(
+                entry.bytes, entry.packets, entry.first, entry.last
+            )
         self.peak_tracked = max(self.peak_tracked, self.tracked_flows)
 
     def close_slot(self) -> np.ndarray:
@@ -279,8 +347,9 @@ class SketchAggregation(AggregationBackend):
                 # A tracked default route is indistinguishable from the
                 # "other traffic" row; fold it in rather than emitting
                 # a duplicate 0.0.0.0/0 population entry.
-                self._residual.add(entry.bytes, entry.packets,
-                                   entry.first, entry.last)
+                self._residual.add(
+                    entry.bytes, entry.packets, entry.first, entry.last
+                )
                 continue
             row = self._row_of.get(key)
             if row is None:
@@ -293,13 +362,15 @@ class SketchAggregation(AggregationBackend):
         for row, entry in attributed:
             vector[row] += entry.bytes
             self._records[row].add_group(
-                entry.packets, int(entry.bytes), entry.first, entry.last,
+                entry.packets, int(entry.bytes), entry.first, entry.last
             )
         if self._residual.packets or self._residual.bytes:
             vector[self.residual_row] += self._residual.bytes
             self._records[self.residual_row].add_group(
-                self._residual.packets, int(self._residual.bytes),
-                self._residual.first, self._residual.last,
+                self._residual.packets,
+                int(self._residual.bytes),
+                self._residual.first,
+                self._residual.last,
             )
         self._pending = {}
         self._residual = _PendingEntry(RESIDUAL_PREFIX)
@@ -374,9 +445,13 @@ class CountMinAggregation(SketchAggregation):
 
     name = "count-min"
 
-    def __init__(self, capacity: int, seed: int = 0,
-                 width: int | None = None,
-                 depth: int = _CM_DEPTH) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        seed: int = 0,
+        width: int | None = None,
+        depth: int = _CM_DEPTH,
+    ) -> None:
         super().__init__(capacity)
         if width is None:
             width = max(16, _CM_WIDTH_FACTOR * capacity)
@@ -395,8 +470,10 @@ class CountMinAggregation(SketchAggregation):
         # peeks discard them on a stable candidate set; rebuild once
         # they dominate so heap memory stays O(capacity), not O(stream).
         if len(self._heap) > 4 * self.capacity:
-            self._heap = [(value, tracked)
-                          for tracked, value in self._candidates.items()]
+            self._heap = [
+                (value, tracked)
+                for tracked, value in self._candidates.items()
+            ]
             heapq.heapify(self._heap)
 
     def _peek_minimum(self) -> tuple[int, float]:
@@ -407,8 +484,9 @@ class CountMinAggregation(SketchAggregation):
                 return key, estimate
             heapq.heappop(self._heap)
         # Staleness drained the heap: rebuild from the live table.
-        self._heap = [(value, key)
-                      for key, value in self._candidates.items()]
+        self._heap = [
+            (value, key) for key, value in self._candidates.items()
+        ]
         heapq.heapify(self._heap)
         estimate, key = self._heap[0]
         return key, estimate
@@ -439,18 +517,268 @@ class SampleHoldAggregation(SummaryGatedAggregation):
     ``sampling_probability`` is per byte; with the default ``1e-5`` a
     flow is caught after ~100 kB in expectation. Held flows are never
     evicted, so the candidate table fills monotonically up to
-    ``capacity``.
+    ``capacity``. Admission draws the seeded RNG once per offer, so
+    there is no order-free batch formulation — this backend has no
+    array engine and always runs scalar.
     """
 
     name = "sample-hold"
 
-    def __init__(self, capacity: int,
-                 sampling_probability: float = 1e-5,
-                 seed: int = 0) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        sampling_probability: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
         super().__init__(capacity)
         self._sketch = SampleAndHold(
-            sampling_probability, seed=seed, max_entries=capacity,
+            sampling_probability, seed=seed, max_entries=capacity
         )
+
+
+class ArraySketchAggregation(AggregationBackend):
+    """Array-engine bounded backend: batch kernels, flat accumulators.
+
+    The candidate summary is an array table from
+    :mod:`repro.sketches.array_tables`; all slot-local accounting —
+    pending bytes, packets, first/last timestamps, activation order and
+    the slot → row cache — lives in parallel ``capacity``-sized arrays
+    indexed by table slot. ``accumulate`` aggregates the batch per
+    unique key, hands the aggregate to the table's one-pass batch
+    update, flushes evicted slots into the residual scalars, and adds
+    the surviving contributions with pure array ops; the only Python
+    loop left runs at slot close, over the slots that earned a row.
+
+    Residual-row conservation, slot-close row admission and positional
+    row identity match the scalar engine exactly; the property suite
+    drives both engines packet-by-packet to pin the equivalence.
+    """
+
+    residual_row = 0
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ClassificationError("capacity must be >= 1")
+        super().__init__()
+        self.capacity = capacity
+        self.prefixes = [RESIDUAL_PREFIX]
+        self._records = [FlowRecord(RESIDUAL_PREFIX)]
+        self._table = self._make_table(capacity)
+        self._pend_bytes = np.zeros(capacity)
+        self._pend_packets = np.zeros(capacity, dtype=np.int64)
+        self._pend_first = np.full(capacity, np.inf)
+        self._pend_last = np.full(capacity, -np.inf)
+        self._pend_active = np.zeros(capacity, dtype=bool)
+        self._pend_seq = np.zeros(capacity, dtype=np.int64)
+        self._slot_row = np.full(capacity, -1, dtype=np.int64)
+        self._seq = 0
+        self._res_bytes = 0.0
+        self._res_packets = 0
+        self._res_first = math.inf
+        self._res_last = -math.inf
+        self._resolve: PrefixOf | None = None
+
+    @abc.abstractmethod
+    def _make_table(self, capacity: int) -> _KeyTable:
+        """Build the array candidate table for this summary."""
+
+    @property
+    def tracked_flows(self) -> int:
+        return len(self._table)
+
+    def accumulate(
+        self,
+        keys: np.ndarray,
+        sizes: np.ndarray,
+        timestamps: np.ndarray,
+        prefix_of: PrefixOf,
+    ) -> None:
+        if keys.size == 0:
+            return
+        self._resolve = prefix_of
+        # Group the batch per unique key with one stable sort plus
+        # reduceat passes — the same aggregates np.unique + bincount +
+        # ufunc.at produce, at roughly half the cost.
+        count = keys.size
+        sort_idx = np.argsort(keys, kind="stable")
+        sorted_keys = keys[sort_idx]
+        fresh = np.empty(count, dtype=bool)
+        fresh[0] = True
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=fresh[1:])
+        starts = np.flatnonzero(fresh)
+        unique = sorted_keys[starts]
+        first_index = sort_idx[starts]
+        weights = np.add.reduceat(
+            np.asarray(sizes, dtype=np.float64)[sort_idx], starts
+        )
+        packets = np.empty(starts.size, dtype=np.int64)
+        packets[:-1] = starts[1:] - starts[:-1]
+        packets[-1] = count - starts[-1]
+        sorted_times = timestamps[sort_idx]
+        first = np.minimum.reduceat(sorted_times, starts)
+        last = np.maximum.reduceat(sorted_times, starts)
+        order = np.argsort(first_index)
+        update = self._table.update_batch(unique, weights, order)
+        self._flush_evicted(update.evicted)
+        slots = update.slots
+        tracked = slots >= 0
+        if not tracked.all():
+            gone = ~tracked
+            self._residual_add(
+                float(weights[gone].sum()),
+                int(packets[gone].sum()),
+                float(first[gone].min()),
+                float(last[gone].max()),
+            )
+        if tracked.any():
+            spots = slots[tracked]
+            self._pend_bytes[spots] += weights[tracked]
+            self._pend_packets[spots] += packets[tracked]
+            self._pend_first[spots] = np.minimum(
+                self._pend_first[spots], first[tracked]
+            )
+            self._pend_last[spots] = np.maximum(
+                self._pend_last[spots], last[tracked]
+            )
+            # Activation order follows first-traffic order, mirroring
+            # the scalar engine's pending-dict insertion order, so row
+            # numbering at slot close is engine-independent.
+            offers = order[tracked[order]]
+            ospots = slots[offers]
+            fresh = ospots[~self._pend_active[ospots]]
+            if fresh.size:
+                self._pend_seq[fresh] = self._seq + np.arange(fresh.size)
+                self._seq += fresh.size
+                self._pend_active[fresh] = True
+        self.peak_tracked = max(self.peak_tracked, len(self._table))
+
+    def _residual_add(
+        self, weight: float, packets: int, first: float, last: float
+    ) -> None:
+        self._res_bytes += weight
+        self._res_packets += packets
+        self._res_first = min(self._res_first, first)
+        self._res_last = max(self._res_last, last)
+
+    def _flush_evicted(self, evicted: np.ndarray) -> None:
+        """Evicted slots spill their pending accounting to residual."""
+        if evicted.size == 0:
+            return
+        self._slot_row[evicted] = -1
+        live = evicted[self._pend_active[evicted]]
+        if live.size:
+            self._residual_add(
+                float(self._pend_bytes[live].sum()),
+                int(self._pend_packets[live].sum()),
+                float(self._pend_first[live].min()),
+                float(self._pend_last[live].max()),
+            )
+            self._reset_pending(live)
+
+    def _reset_pending(self, spots: np.ndarray) -> None:
+        self._pend_bytes[spots] = 0.0
+        self._pend_packets[spots] = 0
+        self._pend_first[spots] = np.inf
+        self._pend_last[spots] = -np.inf
+        self._pend_active[spots] = False
+
+    def close_slot(self) -> np.ndarray:
+        active = np.flatnonzero(self._pend_active)
+        active = active[np.argsort(self._pend_seq[active])]
+        rows: list[int] = []
+        kept: list[int] = []
+        for spot in active.tolist():
+            row = int(self._slot_row[spot])
+            if row < 0:
+                key = int(self._table.key[spot])
+                cached = self._row_of.get(key)
+                if cached is None:
+                    assert self._resolve is not None
+                    prefix = self._resolve(key)
+                    if prefix == RESIDUAL_PREFIX:
+                        # A tracked default route folds into the
+                        # residual row; see the scalar engine.
+                        self._residual_add(
+                            float(self._pend_bytes[spot]),
+                            int(self._pend_packets[spot]),
+                            float(self._pend_first[spot]),
+                            float(self._pend_last[spot]),
+                        )
+                        continue
+                    row = len(self.prefixes)
+                    self._row_of[key] = row
+                    self.prefixes.append(prefix)
+                    self._records.append(FlowRecord(prefix))
+                else:
+                    row = cached
+                self._slot_row[spot] = row
+            rows.append(row)
+            kept.append(spot)
+        vector = np.zeros(len(self.prefixes))
+        for row, spot in zip(rows, kept):
+            vector[row] += self._pend_bytes[spot]
+            self._records[row].add_group(
+                int(self._pend_packets[spot]),
+                int(self._pend_bytes[spot]),
+                float(self._pend_first[spot]),
+                float(self._pend_last[spot]),
+            )
+        if self._res_packets or self._res_bytes:
+            vector[self.residual_row] += self._res_bytes
+            self._records[self.residual_row].add_group(
+                self._res_packets,
+                int(self._res_bytes),
+                self._res_first,
+                self._res_last,
+            )
+            self._res_bytes = 0.0
+            self._res_packets = 0
+            self._res_first = math.inf
+            self._res_last = -math.inf
+        if active.size:
+            self._reset_pending(active)
+        self.slots_closed += 1
+        return vector
+
+
+class ArraySpaceSavingAggregation(ArraySketchAggregation):
+    """Array-engine Space-Saving (see :class:`SpaceSavingAggregation`)."""
+
+    name = "space-saving"
+
+    def _make_table(self, capacity: int) -> _KeyTable:
+        return ArraySpaceSaving(capacity)
+
+
+class ArrayMisraGriesAggregation(ArraySketchAggregation):
+    """Array-engine Misra–Gries (see :class:`MisraGriesAggregation`)."""
+
+    name = "misra-gries"
+
+    def _make_table(self, capacity: int) -> _KeyTable:
+        return ArrayMisraGries(capacity)
+
+
+class ArrayCountMinAggregation(ArraySketchAggregation):
+    """Array-engine Count-Min (see :class:`CountMinAggregation`)."""
+
+    name = "count-min"
+
+    def __init__(
+        self,
+        capacity: int,
+        seed: int = 0,
+        width: int | None = None,
+        depth: int = _CM_DEPTH,
+    ) -> None:
+        if width is None:
+            width = max(16, _CM_WIDTH_FACTOR * capacity)
+        self._cm_params = (width, depth, seed)
+        super().__init__(capacity)
+
+    def _make_table(self, capacity: int) -> _KeyTable:
+        width, depth, seed = self._cm_params
+        return ArrayCountMin(capacity, width=width, depth=depth, seed=seed)
 
 
 class SketchSlotSource:
@@ -464,8 +792,9 @@ class SketchSlotSource:
     bound without touching the packet layer.
     """
 
-    def __init__(self, source: SlotSource,
-                 backend: AggregationBackend) -> None:
+    def __init__(
+        self, source: SlotSource, backend: AggregationBackend
+    ) -> None:
         self.source = source
         self.backend = backend
         self.slot_seconds = source.slot_seconds
@@ -478,7 +807,8 @@ class SketchSlotSource:
             population = frame.population
             if active.size:
                 self.backend.accumulate(
-                    active, volumes[active],
+                    active,
+                    volumes[active],
                     np.full(active.size, frame.start),
                     lambda key: population[key],
                 )
@@ -494,18 +824,52 @@ class SketchSlotSource:
 
 #: CLI names accepted by :func:`make_backend`, which holds the actual
 #: name → class mapping.
-BACKEND_NAMES = ("exact", "space-saving", "misra-gries", "count-min",
-                 "sample-hold")
+BACKEND_NAMES = (
+    "exact",
+    "space-saving",
+    "misra-gries",
+    "count-min",
+    "sample-hold",
+)
+
+#: Sketch execution engines accepted by :func:`make_backend`.
+SKETCH_ENGINES = ("array", "scalar")
+
+_SCALAR_CLASSES: dict[str, type[AggregationBackend]] = {
+    "space-saving": SpaceSavingAggregation,
+    "misra-gries": MisraGriesAggregation,
+    "count-min": CountMinAggregation,
+    "sample-hold": SampleHoldAggregation,
+}
+
+#: Array-engine counterparts; sample-hold is inherently sequential
+#: (one RNG draw per offer) and always runs on the scalar engine.
+_ARRAY_CLASSES: dict[str, type[AggregationBackend]] = {
+    "space-saving": ArraySpaceSavingAggregation,
+    "misra-gries": ArrayMisraGriesAggregation,
+    "count-min": ArrayCountMinAggregation,
+}
 
 
-def make_backend(name: str, capacity: int | None = None,
-                 seed: int = 0, shards: int = 1,
-                 **kwargs) -> AggregationBackend:
+def make_backend(
+    name: str,
+    capacity: int | None = None,
+    seed: int = 0,
+    shards: int = 1,
+    engine: str = "array",
+    **kwargs,
+) -> AggregationBackend:
     """Build a backend by CLI name.
 
     ``exact`` takes no capacity; every sketch backend requires one.
     Extra keyword arguments go to the backend constructor (for example
     ``sampling_probability`` for ``sample-hold``).
+
+    ``engine`` selects the sketch execution engine: ``"array"`` (the
+    default) runs the vectorized candidate tables, ``"scalar"`` the
+    dict-and-heap reference path. ``sample-hold`` always runs scalar;
+    ``exact`` ignores the engine (its one implementation is already
+    vectorized).
 
     ``shards > 1`` wraps ``shards`` inner backends of the same spec in
     a :class:`~repro.pipeline.sharded.ShardedAggregation`. ``capacity``
@@ -513,11 +877,17 @@ def make_backend(name: str, capacity: int | None = None,
     ``ceil(capacity / shards)`` entries, so a sharded run never holds
     more than one extra entry per shard beyond the requested K.
     """
+    if engine not in SKETCH_ENGINES:
+        raise ClassificationError(
+            f"unknown sketch engine {engine!r}; expected one of "
+            f"{', '.join(SKETCH_ENGINES)}"
+        )
     if shards < 1:
         raise ClassificationError("shards must be >= 1")
     if shards > 1:
         # imported here: sharded sits above this module
         from repro.pipeline.sharded import ShardedAggregation
+
         if name == "exact":
             if capacity is not None:
                 raise ClassificationError(
@@ -538,8 +908,13 @@ def make_backend(name: str, capacity: int | None = None,
             per_shard = -(-capacity // shards)
             # distinct seeds decorrelate the hash-based shards' errors
             inners = [
-                make_backend(name, capacity=per_shard, seed=seed + i,
-                             **kwargs)
+                make_backend(
+                    name,
+                    capacity=per_shard,
+                    seed=seed + i,
+                    engine=engine,
+                    **kwargs,
+                )
                 for i in range(shards)
             ]
         return ShardedAggregation(inners)
@@ -550,12 +925,9 @@ def make_backend(name: str, capacity: int | None = None,
                 "applies to sketch backends"
             )
         return ExactAggregation(**kwargs)
-    classes: dict[str, type[SketchAggregation]] = {
-        "space-saving": SpaceSavingAggregation,
-        "misra-gries": MisraGriesAggregation,
-        "count-min": CountMinAggregation,
-        "sample-hold": SampleHoldAggregation,
-    }
+    classes = dict(_SCALAR_CLASSES)
+    if engine == "array":
+        classes.update(_ARRAY_CLASSES)
     if name not in classes:
         raise ClassificationError(
             f"unknown backend {name!r}; expected one of "
@@ -590,13 +962,16 @@ def parse_memory_budget(text: str) -> int:
     return value * multiplier
 
 
-def capacity_for_budget(name: str, budget_bytes: int,
-                        shards: int = 1) -> int:
+def capacity_for_budget(
+    name: str, budget_bytes: int, shards: int = 1
+) -> int:
     """Convert a byte budget into a tracked-flow capacity for ``name``.
 
     Uses the coarse :data:`TRACKED_ENTRY_BYTES` cost model; Count-Min
     additionally pays for its counter table, which scales with capacity
-    through the default width factor.
+    through the default width factor. The array engine's flat layout
+    costs less (:data:`ARRAY_ENTRY_BYTES` per entry), so a budget sized
+    here is an upper bound under either engine.
 
     ``shards`` sizes a sharded deployment: the budget buys ``shards``
     tables of ``K / shards`` entries each, and the returned capacity is

@@ -126,17 +126,29 @@ class ShardedAggregation(AggregationBackend):
 
     def accumulate(self, keys: np.ndarray, sizes: np.ndarray,
                    timestamps: np.ndarray, prefix_of: PrefixOf) -> None:
+        if keys.size == 0:
+            return
         if not self._sketched:
             # Exact shards: the outer population must number rows in
             # global first-traffic order (interleaved across shards) to
             # stay byte-identical with a single exact backend.
             self._assign_rows(keys, prefix_of)
         homes = shard_of(keys, self.num_shards)
-        for index, shard in enumerate(self.shards):
-            mine = homes == index
-            if mine.any():
-                shard.accumulate(keys[mine], sizes[mine],
-                                 timestamps[mine], prefix_of)
+        # one stable sort splits the batch into per-shard segments
+        # (time order preserved within each), instead of N full-array
+        # mask scans per batch
+        order = np.argsort(homes, kind="stable")
+        sorted_homes = homes[order]
+        keys, sizes, timestamps = (
+            keys[order], sizes[order], timestamps[order],
+        )
+        boundaries = np.flatnonzero(np.diff(sorted_homes)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [sorted_homes.size]))
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            shard = self.shards[int(sorted_homes[start])]
+            shard.accumulate(keys[start:end], sizes[start:end],
+                             timestamps[start:end], prefix_of)
         self.peak_tracked = max(self.peak_tracked, self.tracked_flows)
 
     def close_slot(self) -> np.ndarray:

@@ -121,7 +121,11 @@ class FixedLengthResolver:
             raise RoutingError(f"prefix length {length} out of range 0..32")
         self.length = length
         self._shift = 32 - length
-        self._rows: dict[int, int] = {}
+        # known networks kept sorted, with their rows aligned, so the
+        # steady-state lookup is one binary search and one gather — no
+        # per-network Python work once the population stops growing
+        self._known = np.empty(0, dtype=np.int64)
+        self._known_rows = np.empty(0, dtype=np.int64)
         self.prefixes: list[Prefix] = []
 
     def __len__(self) -> int:
@@ -131,12 +135,23 @@ class FixedLengthResolver:
         """Resolve a batch of addresses, growing the population as needed."""
         addresses = np.asarray(addresses, dtype=np.int64)
         networks = (addresses >> self._shift) << self._shift
-        unique = np.unique(networks)
-        for network in unique.tolist():
-            if network not in self._rows:
-                self._rows[network] = len(self.prefixes)
-                self.prefixes.append(Prefix(int(network), self.length))
-        # gather through the (few) unique networks, not per address
-        table = np.array([self._rows[n] for n in unique.tolist()],
-                         dtype=np.int64)
-        return table[np.searchsorted(unique, networks)]
+        if self._known.size:
+            positions = np.searchsorted(self._known, networks)
+            clipped = np.minimum(positions, self._known.size - 1)
+            if (self._known[clipped] == networks).all():
+                return self._known_rows[clipped]
+            fresh = np.unique(networks[self._known[clipped] != networks])
+        else:
+            fresh = np.unique(networks)
+        # new networks earn rows in sorted order per batch, matching
+        # the historical np.unique-iteration numbering
+        rows = np.arange(len(self.prefixes),
+                         len(self.prefixes) + fresh.size, dtype=np.int64)
+        for network in fresh.tolist():
+            self.prefixes.append(Prefix(int(network), self.length))
+        spots = np.searchsorted(self._known, fresh)
+        self._known = np.insert(self._known, spots, fresh)
+        self._known_rows = np.insert(self._known_rows, spots, rows)
+        clipped = np.minimum(np.searchsorted(self._known, networks),
+                             self._known.size - 1)
+        return self._known_rows[clipped]

@@ -2,9 +2,17 @@
 
 Misra–Gries, Space-Saving, Count-Min and Sample-and-Hold, plus adapters
 that run them per slot so their volatility can be compared against the
-paper's latent-heat elephants.
+paper's latent-heat elephants. The scalar classes are the reference
+semantics; :mod:`repro.sketches.array_tables` carries the vectorized
+batch-update counterparts the aggregation hot path runs on.
 """
 
+from repro.sketches.array_tables import (
+    ArrayCountMin,
+    ArrayMisraGries,
+    ArraySpaceSaving,
+    BatchUpdate,
+)
 from repro.sketches.compare import (
     SketchRun,
     exact_top_k_per_slot,
@@ -25,8 +33,12 @@ from repro.sketches.streaming_eval import (
 )
 
 __all__ = [
+    "ArrayCountMin",
+    "ArrayMisraGries",
+    "ArraySpaceSaving",
     "BackendComparison",
     "BackendRun",
+    "BatchUpdate",
     "COMPARISON_COLUMNS",
     "CountMinSketch",
     "MisraGries",

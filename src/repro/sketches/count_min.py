@@ -3,6 +3,13 @@
 A fixed-memory frequency sketch with one-sided (over-)estimation error
 ``epsilon * total`` with probability ``1 - delta``. Included as the
 hashing-based member of the heavy-hitter baseline family.
+
+Besides the classic one-key-at-a-time interface the sketch speaks
+batches: :meth:`CountMinSketch.update_batch` and
+:meth:`CountMinSketch.estimate_batch` hash whole key vectors through
+the same seeded family, so the array-native aggregation backends and
+the scalar reference path read identical counters for identical
+streams.
 """
 
 from __future__ import annotations
@@ -38,8 +45,12 @@ class CountMinSketch:
         self._total = 0.0
 
     @classmethod
-    def from_error_bounds(cls, epsilon: float, delta: float,
-                          seed: int = 0) -> "CountMinSketch":
+    def from_error_bounds(
+        cls,
+        epsilon: float,
+        delta: float,
+        seed: int = 0,
+    ) -> "CountMinSketch":
         """Size the sketch for error ``epsilon·total`` w.p. ``1 − delta``."""
         if not 0 < epsilon < 1 or not 0 < delta < 1:
             raise ClassificationError("epsilon and delta must be in (0, 1)")
@@ -56,6 +67,17 @@ class CountMinSketch:
         digest = hash(key) & 0x7FFFFFFFFFFFFFFF
         return ((self._a * digest + self._b) % _PRIME) % self.width
 
+    def _columns(self, keys: np.ndarray) -> np.ndarray:
+        """Per-row hash columns for a vector of integer keys.
+
+        ``keys`` must be non-negative integers; their digests match
+        ``hash(int(key))``, so the batch path touches exactly the
+        counters the scalar path would.
+        """
+        digests = np.asarray(keys, dtype=np.int64) % np.int64(_PRIME)
+        mixed = self._a[:, None] * digests[None, :] + self._b[:, None]
+        return (mixed % _PRIME) % self.width
+
     def update(self, key: Hashable, weight: float = 1.0) -> None:
         """Add ``weight`` of ``key``."""
         if weight < 0:
@@ -66,10 +88,28 @@ class CountMinSketch:
         columns = self._rows(key)
         self._table[np.arange(self.depth), columns] += weight
 
+    def update_batch(self, keys: np.ndarray, weights: np.ndarray) -> None:
+        """Add a vector of weighted integer keys in one pass."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.size and float(weights.min()) < 0.0:
+            raise ClassificationError("weights must be non-negative")
+        if weights.size == 0:
+            return
+        self._total += float(weights.sum())
+        columns = self._columns(keys)
+        for row in range(self.depth):
+            np.add.at(self._table[row], columns[row], weights)
+
     def estimate(self, key: Hashable) -> float:
         """Upper-bound estimate (min over rows)."""
         columns = self._rows(key)
         return float(self._table[np.arange(self.depth), columns].min())
+
+    def estimate_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Upper-bound estimates for a vector of integer keys."""
+        columns = self._columns(keys)
+        rows = np.arange(self.depth)[:, None]
+        return self._table[rows, columns].min(axis=0)
 
     def error_bound(self, confidence_rows: int | None = None) -> float:
         """Expected over-estimate bound ``e / width * total``."""

@@ -120,6 +120,29 @@ def test_stream_pipeline_matches_golden(tmp_path):
     )
 
 
+def test_array_engine_elephants_match_scalar_engine(tmp_path):
+    """The array sketch engine must report the same elephants per slot
+    as the scalar reference engine on the golden capture — the batch
+    kernels may admit marginal mice differently, but classification
+    output is pinned engine-independent."""
+    path = os.path.join(str(tmp_path), "golden.pcap")
+    prefixes, _ = _write_capture(path)
+    for name in ("space-saving", "misra-gries", "count-min"):
+        runs = {
+            engine: _run(
+                path,
+                prefixes,
+                make_backend(name, capacity=6, engine=engine),
+            )
+            for engine in ("array", "scalar")
+        }
+        assert runs["array"]["elephant_counts"] == \
+            runs["scalar"]["elephant_counts"], name
+        assert runs["array"]["final_slot_elephants"] == \
+            runs["scalar"]["final_slot_elephants"], name
+        assert runs["array"]["stats"] == runs["scalar"]["stats"], name
+
+
 if __name__ == "__main__":  # pragma: no cover - regeneration entry point
     import tempfile
 

@@ -30,6 +30,9 @@ from repro.flows.records import TimeAxis
 from repro.routing.lpm import FixedLengthResolver
 
 SKETCH_NAMES = ("space-saving", "misra-gries", "count-min", "sample-hold")
+#: Execution engines for the bounded backends; the invariants below
+#: must hold identically under both (sample-hold always runs scalar).
+ENGINES = ("array", "scalar")
 
 
 def batch(rows):
@@ -80,9 +83,10 @@ def run_backend_over(rows, backend, slot_seconds=10.0, chunks=1):
 
 class TestCapacityBound:
     @pytest.mark.parametrize("name", SKETCH_NAMES)
-    def test_tracked_state_never_exceeds_capacity(self, name):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_tracked_state_never_exceeds_capacity(self, name, engine):
         capacity = 8
-        backend = make_backend(name, capacity=capacity)
+        backend = make_backend(name, capacity=capacity, engine=engine)
         rows = heavy_tailed_rows()
         aggregator = StreamingAggregator(FixedLengthResolver(24),
                                          slot_seconds=10.0,
@@ -94,12 +98,14 @@ class TestCapacityBound:
         assert backend.peak_tracked <= capacity
 
     @pytest.mark.parametrize("name", SKETCH_NAMES)
-    def test_heavy_flows_earn_rows(self, name):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_heavy_flows_earn_rows(self, name, engine):
         # sample-hold never evicts, so held mice occupy entries for the
         # whole run: give it headroom and a sampling rate that catches
         # the heavy flows quickly but rarely holds a 64-byte mouse
-        backend = (make_backend(name, capacity=8) if name != "sample-hold"
-                   else make_backend(name, capacity=16,
+        backend = (make_backend(name, capacity=8, engine=engine)
+                   if name != "sample-hold"
+                   else make_backend(name, capacity=16, engine=engine,
                                      sampling_probability=1e-4))
         aggregator, frames = run_backend_over(heavy_tailed_rows(), backend)
         heavy = {Prefix.parse(f"10.{i}.0.0/24") for i in range(5)}
@@ -114,8 +120,9 @@ class TestCapacityBound:
 class TestCountMinHeapBound:
     def test_candidate_heap_stays_bounded_on_long_streams(self):
         """Re-offering a stable candidate set must not grow the lazy
-        heap with the stream (stale entries are pruned by rebuild)."""
-        backend = make_backend("count-min", capacity=8)
+        heap with the stream (stale entries are pruned by rebuild).
+        Scalar-engine specific: the array engine has no lazy heap."""
+        backend = make_backend("count-min", capacity=8, engine="scalar")
         aggregator = StreamingAggregator(FixedLengthResolver(24),
                                          slot_seconds=1.0,
                                          backend=backend)
@@ -130,8 +137,9 @@ class TestCountMinHeapBound:
 
 class TestResidualSemantics:
     @pytest.mark.parametrize("name", SKETCH_NAMES)
-    def test_bytes_conserved_including_residual(self, name):
-        backend = make_backend(name, capacity=6)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_bytes_conserved_including_residual(self, name, engine):
+        backend = make_backend(name, capacity=6, engine=engine)
         aggregator, frames = run_backend_over(heavy_tailed_rows(), backend,
                                               chunks=7)
         recovered = sum(float(f.rates.sum()) for f in frames) * 10.0 / 8.0
@@ -216,8 +224,9 @@ class TestResidualSemantics:
         assert series.mean_residual_fraction == pytest.approx(1.0)
         assert series.mean_fraction == 0.0
 
-    def test_residual_record_accounts_untracked_packets(self):
-        backend = make_backend("misra-gries", capacity=4)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_residual_record_accounts_untracked_packets(self, engine):
+        backend = make_backend("misra-gries", capacity=4, engine=engine)
         aggregator, _ = run_backend_over(heavy_tailed_rows(), backend)
         records = aggregator.flow_records()
         assert records[0].prefix == RESIDUAL_PREFIX
@@ -227,9 +236,10 @@ class TestResidualSemantics:
 
 
 class TestRowIdentity:
-    def test_rows_stable_across_eviction_and_readmission(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_rows_stable_across_eviction_and_readmission(self, engine):
         """A flow evicted mid-run keeps its row when it comes back."""
-        backend = make_backend("space-saving", capacity=2)
+        backend = make_backend("space-saving", capacity=2, engine=engine)
         aggregator = StreamingAggregator(FixedLengthResolver(24),
                                          slot_seconds=10.0,
                                          backend=backend)
@@ -346,6 +356,67 @@ class TestFactoryAndBudget:
             capacity_for_budget("space-saving", 16)
 
 
+class TestEmptyBatches:
+    """accumulate() with zero packets is a no-op on every backend —
+    the vectorized paths must not trip over empty arrays."""
+
+    @pytest.mark.parametrize("spec", [
+        ("exact", {}),
+        ("space-saving", {"capacity": 4}),
+        ("space-saving", {"capacity": 4, "engine": "scalar"}),
+        ("misra-gries", {"capacity": 4}),
+        ("count-min", {"capacity": 4}),
+        ("space-saving", {"capacity": 4, "shards": 2}),
+        ("exact", {"shards": 2}),
+    ])
+    def test_empty_accumulate_is_noop(self, spec):
+        name, kwargs = spec
+        backend = make_backend(name, **kwargs)
+        empty = np.empty(0, dtype=np.int64)
+        backend.accumulate(empty, empty, np.empty(0), lambda key: None)
+        assert backend.tracked_flows == 0
+        vector = backend.close_slot()
+        assert float(vector.sum()) == 0.0
+
+
+class TestEngineSelection:
+    def test_default_engine_is_array(self):
+        from repro.pipeline import ArraySketchAggregation
+        backend = make_backend("space-saving", capacity=4)
+        assert isinstance(backend, ArraySketchAggregation)
+        assert backend.name == "space-saving"
+
+    def test_scalar_engine_builds_reference_classes(self):
+        from repro.pipeline import SketchAggregation
+        backend = make_backend("space-saving", capacity=4,
+                               engine="scalar")
+        assert isinstance(backend, SketchAggregation)
+
+    def test_sample_hold_always_scalar(self):
+        from repro.pipeline import SampleHoldAggregation
+        for engine in ENGINES:
+            backend = make_backend("sample-hold", capacity=4,
+                                   engine=engine)
+            assert isinstance(backend, SampleHoldAggregation)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ClassificationError, match="engine"):
+            make_backend("space-saving", capacity=4, engine="gpu")
+
+    def test_sharded_backends_inherit_engine(self):
+        from repro.pipeline import (
+            ArraySketchAggregation,
+            SketchAggregation,
+        )
+        sharded = make_backend("misra-gries", capacity=8, shards=2)
+        assert all(isinstance(s, ArraySketchAggregation)
+                   for s in sharded.shards)
+        sharded = make_backend("misra-gries", capacity=8, shards=2,
+                               engine="scalar")
+        assert all(isinstance(s, SketchAggregation)
+                   for s in sharded.shards)
+
+
 class TestRowKeys:
     """row_keys() is the public inner-row → key contract the sharded
     merge is built on: position i owns row i (plus the residual
@@ -364,8 +435,9 @@ class TestRowKeys:
                 backend.prefixes[index]
 
     @pytest.mark.parametrize("name", SKETCH_NAMES)
-    def test_sketch_rows_offset_past_residual(self, name):
-        backend = make_backend(name, capacity=6)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sketch_rows_offset_past_residual(self, name, engine):
+        backend = make_backend(name, capacity=6, engine=engine)
         rows = heavy_tailed_rows(num_heavy=3, num_mice=10, num_slots=2)
         aggregator, _ = run_backend_over(rows, backend)
         keys = backend.row_keys()
