@@ -8,6 +8,14 @@ Space-Saving backend — the bounded-memory configuration a line-rate
 monitor actually runs — and through the in-process sharded aggregator
 as the single-process baseline.
 
+The transport under test is the zero-copy shared-memory ring
+(:mod:`repro.distributed.shm_ring`): the reader writes dealt column
+sub-batches straight into per-worker ``/dev/shm`` slots and only
+``(slot, final)`` descriptors cross a queue, replacing PR 4's
+pickled-``Queue`` hop whose serialization cost made the fleet *lose*
+throughput as workers were added (0.66x at 2 workers, 0.44x at 4 on
+the recorded PR 4 numbers).
+
 The CI gate asserts **>= 1.5x ingestion throughput at 4 workers vs 1
 worker** (:data:`MIN_SPEEDUP_AT_4`). The gate needs real parallelism,
 so it is enforced only when the machine has at least 4 CPUs (the CI
@@ -29,7 +37,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.distributed import parallel_ingest
+from repro.distributed import DEFAULT_RING_SLOTS, parallel_ingest
 from repro.pipeline import (
     AggregatingSlotSource,
     ArrayPacketSource,
@@ -150,6 +158,8 @@ def test_parallel_scaling_gate(trace, report_writer):
     )
     report_writer("bench_parallel_ingest", "\n".join(lines))
     write_bench_json({
+        "transport": "shm-ring",
+        "ring_slots": DEFAULT_RING_SLOTS,
         "packets": PACKETS,
         "capacity": CAPACITY,
         "single_process_pps": round(baseline_pps),

@@ -33,6 +33,7 @@ from repro.analysis.elephants import ElephantSeries
 from repro.analysis.holding import HoldingTimeAnalysis
 from repro.analysis.report import format_table
 from repro.distributed import (
+    DEFAULT_RING_SLOTS,
     Collector,
     SlotSummary,
     load_summaries,
@@ -131,6 +132,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="fork N shard worker processes fed by a "
                              "reader process (true multi-process "
                              "ingestion; packet inputs only)")
+    stream.add_argument("--ring-slots", type=int,
+                        default=DEFAULT_RING_SLOTS,
+                        help="shared-memory ring slots per worker: the "
+                             "batches in flight before the reader "
+                             "blocks (backpressure bound)")
     stream.add_argument("--summary-out", metavar="FILE", default=None,
                         help="write per-slot summaries (.npz) for "
                              "`repro merge`")
@@ -398,7 +404,7 @@ def _cmd_stream_parallel(args: argparse.Namespace, scheme: Scheme,
     ingest = parallel_ingest(
         packets, resolver, workers=args.workers,
         slot_seconds=args.slot_seconds, backend=args.backend,
-        capacity=capacity,
+        capacity=capacity, ring_slots=args.ring_slots,
     )
     if all(not run for run in ingest.runs):
         print("no slots in input", file=sys.stderr)

@@ -29,6 +29,13 @@ from repro.distributed.runner import (
     WorkerSpec,
     parallel_ingest,
 )
+from repro.distributed.shm_ring import (
+    DEFAULT_RING_SLOTS,
+    RingConsumer,
+    RingSpec,
+    RingWriter,
+    ShmRing,
+)
 from repro.distributed.summary import (
     SlotSummary,
     load_summaries,
@@ -37,10 +44,15 @@ from repro.distributed.summary import (
 
 __all__ = [
     "Collector",
+    "DEFAULT_RING_SLOTS",
     "MergedRun",
     "MergedSlotSource",
     "ParallelIngestResult",
+    "RingConsumer",
+    "RingSpec",
+    "RingWriter",
     "RowResolver",
+    "ShmRing",
     "SlotSummary",
     "StridedPacketSource",
     "WorkerSpec",

@@ -1,4 +1,4 @@
-"""True multi-process ingestion: reader → shard workers → collector.
+"""True multi-process ingestion: reader → shm rings → workers → collector.
 
 :class:`~repro.pipeline.sharded.ShardedAggregation` rehearses the
 partitioned dataflow inside one process; this module performs it for
@@ -18,9 +18,15 @@ and classifies the merged link through the unchanged
 :func:`~repro.distributed.merge.merge_summaries` +
 :class:`~repro.distributed.collector.Collector` path.
 
-Queues are bounded (``queue_batches`` packet chunks per worker), so a
-slow worker exerts backpressure instead of letting the reader buffer
-the capture. Worker and reader crashes surface as
+Packets never cross a pickled queue. The reader writes each dealt
+sub-batch's column arrays straight into a per-worker shared-memory
+ring (:mod:`~repro.distributed.shm_ring`), and only tiny slot
+descriptors travel over queues; workers ingest numpy views of the ring
+pages in place. The ring's free list is the backpressure bound: with
+all ``ring_slots`` slots in flight the reader blocks instead of
+buffering the capture. The collector creates the rings and always
+unlinks them — success, error, or crash — so no ``/dev/shm`` segment
+outlives :func:`parallel_ingest`. Worker and reader crashes surface as
 :class:`~repro.errors.ReproError` at the collector — with every child
 process terminated first, never orphaned — which the CLI maps to exit
 code 2.
@@ -33,6 +39,7 @@ with :class:`ShardedAggregation` is exact for in-order input.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import queue as queue_module
@@ -41,13 +48,24 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.distributed.shm_ring import (
+    DEFAULT_RING_SLOTS,
+    RingConsumer,
+    RingSpec,
+    RingWriter,
+    ShmRing,
+)
 from repro.distributed.summary import SlotSummary
 from repro.errors import ClassificationError, ReproError
 from repro.flows.aggregate import AggregationStats
 from repro.net.prefix import Prefix
 from repro.pipeline.backends import AggregationBackend, make_backend
 from repro.pipeline.sharded import shard_of
-from repro.pipeline.sources import PacketBatch, PacketSource
+from repro.pipeline.sources import (
+    DEFAULT_CHUNK_PACKETS,
+    PacketBatch,
+    PacketSource,
+)
 from repro.routing.lpm import NO_ROUTE
 
 if TYPE_CHECKING:
@@ -55,14 +73,16 @@ if TYPE_CHECKING:
     from repro.distributed.collector import Collector
     from repro.pipeline.aggregator import PrefixResolver
 
-#: Packet-chunk messages a worker's inbound queue buffers before the
-#: reader blocks — the backpressure bound on reader-side memory.
-DEFAULT_QUEUE_BATCHES = 8
-
 #: Fault-injection hook for the crash-path tests: set to ``worker:<id>``
-#: (clean failure), ``worker:<id>:hard`` (exit without a message) or
+#: (clean failure), ``worker:<id>:hard`` (exit without a message),
+#: ``worker:<id>:midslot`` (die while holding a ring slot) or
 #: ``reader`` to make that process fail deterministically.
 FAULT_ENV = "REPRO_RUNNER_FAULT"
+
+#: Force a multiprocessing start method (``fork``/``spawn``/
+#: ``forkserver``); the spawn-fallback tests use it to exercise the
+#: pickle path that fork hides.
+START_METHOD_ENV = "REPRO_RUNNER_START_METHOD"
 
 _POLL_SECONDS = 0.2
 _CRASH_GRACE_SECONDS = 1.0
@@ -85,16 +105,16 @@ class RowResolver:
     def __len__(self) -> int:
         return len(self.prefixes)
 
-    def extend(self, networks: Sequence[int],
-               lengths: Sequence[int]) -> None:
+    def extend(self, networks: Sequence[int], lengths: Sequence[int]) -> None:
         """Append newly discovered prefixes (reader → worker sync).
 
-        Accepts any integer sequences, including the numpy arrays the
-        reader ships on the wire — one conversion per sync, not one
-        Python object per prefix on the sender side.
+        Accepts any integer sequences, including the numpy column views
+        the ring transport hands the worker — one conversion per sync,
+        not one Python object per prefix on the sender side.
         """
-        for network, length in zip(np.asarray(networks).tolist(),
-                                   np.asarray(lengths).tolist()):
+        for network, length in zip(
+            np.asarray(networks).tolist(), np.asarray(lengths).tolist()
+        ):
             self.prefixes.append(Prefix(int(network), int(length)))
 
     def lookup(self, addresses: np.ndarray) -> np.ndarray:
@@ -124,9 +144,7 @@ class WorkerSpec:
     def build(self, worker_id: int, workers: int) -> AggregationBackend:
         """The inner backend worker ``worker_id`` of ``workers`` owns."""
         if workers == 1:
-            return make_backend(
-                self.backend, capacity=self.capacity, seed=self.seed
-            )
+            return make_backend(self.backend, capacity=self.capacity, seed=self.seed)
         sharded = make_backend(
             self.backend,
             capacity=self.capacity,
@@ -153,19 +171,33 @@ class ParallelIngestResult:
 
     @property
     def num_slots(self) -> int:
-        """Distinct grid cells any worker summarized."""
+        """Distinct grid cells any worker summarized.
+
+        Summaries are binned by flooring against the run's own origin
+        (``start``, or 0 when the axis was derived from the data).
+        Dividing raw summary starts by the slot width and rounding
+        would mis-bucket unaligned axes — with ``start=30`` and
+        60-second slots, banker's rounding folds the 90s and 150s
+        cells together. The half-up floor only absorbs float error in
+        the ``origin + slot * slot_seconds`` reconstruction, never a
+        real off-grid offset.
+        """
+        origin = self.start if self.start is not None else 0.0
         cells = {
-            round(summary.start / summary.slot_seconds)
+            math.floor((summary.start - origin) / summary.slot_seconds + 0.5)
             for run in self.runs
             for summary in run
         }
         return len(cells)
 
-    def collector(self, k: int | None = None,
-                  scheme: "Scheme | None" = None,
-                  feature: "Feature | None" = None,
-                  config: "EngineConfig | None" = None,
-                  fill_gaps: bool = True) -> "Collector":
+    def collector(
+        self,
+        k: int | None = None,
+        scheme: "Scheme | None" = None,
+        feature: "Feature | None" = None,
+        config: "EngineConfig | None" = None,
+        fill_gaps: bool = True,
+    ) -> "Collector":
         """Merge the worker runs and wrap them for classification.
 
         ``fill_gaps`` (default on) interpolates empty merged slots for
@@ -195,28 +227,42 @@ class ParallelIngestResult:
         )
 
 
-def _batch_message(timestamps: np.ndarray, keys: np.ndarray,
-                   sizes: np.ndarray, mine: np.ndarray,
-                   new_prefixes: list[Prefix]) -> tuple:
-    # prefix sync rides the queue as two flat int64 arrays — numpy
-    # buffers pickle as single blobs, so a sync of N prefixes costs
-    # O(1) queue objects instead of 2N boxed ints
-    networks = np.fromiter((prefix.network for prefix in new_prefixes),
-                           dtype=np.int64, count=len(new_prefixes))
-    lengths = np.fromiter((prefix.length for prefix in new_prefixes),
-                          dtype=np.int64, count=len(new_prefixes))
-    return (timestamps[mine], keys[mine], sizes[mine], networks,
-            lengths)
+def _sync_arrays(
+    prefixes: Sequence[Prefix], lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray]:
+    # the prefix sync rides the ring as two flat int64 columns — one
+    # buffer write for N prefixes instead of 2N boxed ints on a queue
+    new = prefixes[lo:hi]
+    networks = np.fromiter(
+        (prefix.network for prefix in new), dtype=np.int64, count=len(new)
+    )
+    lengths = np.fromiter(
+        (prefix.length for prefix in new), dtype=np.int64, count=len(new)
+    )
+    return networks, lengths
 
 
-def _reader_main(source: PacketSource, resolver: "PrefixResolver",
-                 workers: int, in_queues: list, out_queue) -> None:
+def _reader_main(
+    source: PacketSource,
+    resolver: "PrefixResolver",
+    workers: int,
+    ring_specs: list[RingSpec],
+    free_queues: list,
+    data_queues: list,
+    out_queue,
+) -> None:
     """Scan, resolve and deal packets; always sentinel the workers."""
-    stats = {"packets_seen": 0, "packets_skipped": 0,
-             "packets_unrouted": 0}
+    stats = {"packets_seen": 0, "packets_skipped": 0, "packets_unrouted": 0}
+    writers: list[RingWriter] = []
     try:
         if os.environ.get(FAULT_ENV) == "reader":
             raise ReproError("injected reader fault")
+        writers = [
+            RingWriter(ShmRing.attach(spec), free_queue, data_queue)
+            for spec, free_queue, data_queue in zip(
+                ring_specs, free_queues, data_queues
+            )
+        ]
         sent = [0] * workers
         for batch in source.batches():
             stats["packets_seen"] += batch.packets_seen
@@ -235,38 +281,63 @@ def _reader_main(source: PacketSource, resolver: "PrefixResolver",
             # scaling
             timestamps = batch.timestamps[routed]
             sizes = batch.wire_bytes[routed]
-            homes = (shard_of(keys, workers) if workers > 1
-                     else np.zeros(keys.size, dtype=np.int64))
+            if workers > 1:
+                # one stable sort splits the batch into contiguous
+                # per-worker segments (order within a worker's
+                # sub-stream preserved, like the in-process sharder)
+                homes = shard_of(keys, workers)
+                order = np.argsort(homes, kind="stable")
+                timestamps = timestamps[order]
+                keys = keys[order]
+                sizes = sizes[order]
+                bounds = np.searchsorted(homes[order], np.arange(workers + 1))
+            else:
+                bounds = np.array([0, keys.size])
             for worker_id in range(workers):
-                mine = homes == worker_id
-                if not mine.any():
+                lo, hi = int(bounds[worker_id]), int(bounds[worker_id + 1])
+                if lo == hi:
                     continue
-                new = resolver.prefixes[sent[worker_id]:table_size]
+                networks, lengths = _sync_arrays(
+                    resolver.prefixes, sent[worker_id], table_size
+                )
                 sent[worker_id] = table_size
-                in_queues[worker_id].put(
-                    _batch_message(timestamps, keys, sizes, mine, new)
+                writers[worker_id].send(
+                    timestamps[lo:hi], keys[lo:hi], sizes[lo:hi], networks, lengths
                 )
         out_queue.put(("reader", stats))
     except BaseException as exc:  # noqa: BLE001 - crosses a process
         out_queue.put(("error", "reader", f"{exc}"))
     finally:
-        for in_queue in in_queues:
-            in_queue.put(None)
+        for data_queue in data_queues:
+            data_queue.put(None)
+        for writer in writers:
+            writer.ring.close()
 
 
-def _worker_main(worker_id: int, workers: int, spec: WorkerSpec,
-                 slot_seconds: float, start: float | None,
-                 in_queue, out_queue) -> None:
+def _worker_main(
+    worker_id: int,
+    workers: int,
+    spec: WorkerSpec,
+    slot_seconds: float,
+    start: float | None,
+    ring_spec: RingSpec,
+    free_queue,
+    data_queue,
+    out_queue,
+) -> None:
     """Own one shard: aggregate the sub-stream, ship slot summaries."""
     from repro.pipeline.aggregator import StreamingAggregator
 
     monitor = f"worker{worker_id}"
+    ring = None
     try:
         fault = os.environ.get(FAULT_ENV, "")
         if fault == f"worker:{worker_id}:hard":
             os._exit(13)
         if fault == f"worker:{worker_id}":
             raise ReproError("injected worker fault")
+        ring = ShmRing.attach(ring_spec)
+        consumer = RingConsumer(ring, free_queue, data_queue)
         resolver = RowResolver()
         aggregator = StreamingAggregator(
             resolver,
@@ -277,38 +348,45 @@ def _worker_main(worker_id: int, workers: int, spec: WorkerSpec,
 
         def ship(frames) -> None:
             for frame in frames:
-                summary = SlotSummary.from_frame(
-                    frame, slot_seconds, monitor=monitor
-                )
+                summary = SlotSummary.from_frame(frame, slot_seconds, monitor=monitor)
                 out_queue.put(("slot", worker_id, summary.to_bytes()))
 
-        while True:
-            message = in_queue.get()
-            if message is None:
-                break
-            timestamps, keys, sizes, networks, lengths = message
+        midslot = fault == f"worker:{worker_id}:midslot"
+        for timestamps, keys, sizes, networks, lengths in consumer.batches():
+            if midslot:
+                # die while a ring slot descriptor is checked out: the
+                # crash tests assert the collector still unlinks the
+                # segment
+                os._exit(13)
             resolver.extend(networks, lengths)
-            ship(aggregator.ingest(PacketBatch(
-                timestamps=timestamps,
-                sources=np.zeros(keys.size, dtype=np.int64),
-                destinations=keys,
-                protocols=np.zeros(keys.size, dtype=np.int64),
-                wire_bytes=sizes,
-                packets_seen=keys.size,
-            )))
+            # the columns are views straight into the ring slot; the
+            # aggregator consumes them before the loop advances (and
+            # thereby frees the slot for the reader to overwrite)
+            ship(aggregator.ingest(PacketBatch.of_flows(timestamps, keys, sizes)))
         ship(aggregator.finish())
-        out_queue.put(("done", worker_id, {
-            "packets_matched": aggregator.stats.packets_matched,
-            "packets_outside_axis":
-                aggregator.stats.packets_outside_axis,
-            "bytes_matched": aggregator.stats.bytes_matched,
-        }))
+        out_queue.put(
+            (
+                "done",
+                worker_id,
+                {
+                    "packets_matched": aggregator.stats.packets_matched,
+                    "packets_outside_axis": aggregator.stats.packets_outside_axis,
+                    "bytes_matched": aggregator.stats.bytes_matched,
+                },
+            )
+        )
     except BaseException as exc:  # noqa: BLE001 - crosses a process
         out_queue.put(("error", monitor, f"{exc}"))
+    finally:
+        if ring is not None:
+            ring.close()
 
 
 def _context():
     """Prefer fork (no pickling of sources/resolvers), else default."""
+    forced = os.environ.get(START_METHOD_ENV)
+    if forced:
+        return multiprocessing.get_context(forced)
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
@@ -359,8 +437,7 @@ class _Fleet:
             _, worker_id, stats = message
             self.done.add(worker_id)
             self.stats.packets_matched += stats["packets_matched"]
-            self.stats.packets_outside_axis += \
-                stats["packets_outside_axis"]
+            self.stats.packets_outside_axis += stats["packets_outside_axis"]
             self.stats.bytes_matched += stats["bytes_matched"]
         elif tag == "reader":
             _, stats = message
@@ -370,22 +447,23 @@ class _Fleet:
             self.stats.packets_unrouted += stats["packets_unrouted"]
         elif tag == "error":
             _, who, detail = message
-            raise ReproError(
-                f"parallel ingestion failed in {who}: {detail}"
-            )
+            raise ReproError(f"parallel ingestion failed in {who}: {detail}")
         else:  # pragma: no cover - protocol invariant
             raise ReproError(f"unknown runner message {tag!r}")
 
 
-def parallel_ingest(source: PacketSource, resolver: "PrefixResolver",
-                    workers: int,
-                    slot_seconds: float = 60.0,
-                    backend: str = "exact",
-                    capacity: int | None = None,
-                    seed: int = 0,
-                    start: float | None = None,
-                    queue_batches: int = DEFAULT_QUEUE_BATCHES,
-                    ) -> ParallelIngestResult:
+def parallel_ingest(
+    source: PacketSource,
+    resolver: "PrefixResolver",
+    workers: int,
+    slot_seconds: float = 60.0,
+    backend: str = "exact",
+    capacity: int | None = None,
+    seed: int = 0,
+    start: float | None = None,
+    ring_slots: int = DEFAULT_RING_SLOTS,
+    ring_slot_packets: int | None = None,
+) -> ParallelIngestResult:
     """Ingest a packet stream across ``workers`` shard processes.
 
     Returns one summary run per worker plus fleet-wide aggregation
@@ -396,43 +474,76 @@ def parallel_ingest(source: PacketSource, resolver: "PrefixResolver",
     numerically zero, where the summary wire format's float round trip
     may flip a knife-edge verdict — and every byte conserved.
 
+    ``ring_slots`` bounds the batches in flight per worker (the reader
+    blocks when a ring is full); ``ring_slot_packets`` sizes each slot
+    and defaults to the source's chunk size, so a dealt sub-batch
+    almost always fits one slot and stays zero-copy end to end.
+
     Raises :class:`~repro.errors.ReproError` when the reader or any
     worker fails — after terminating the whole fleet, so no child
-    outlives the error.
+    outlives the error. The shared-memory rings are unlinked on every
+    exit path.
     """
     if workers < 1:
         raise ClassificationError("workers must be >= 1")
     if slot_seconds <= 0:
         raise ClassificationError("slot_seconds must be positive")
-    if queue_batches < 1:
-        raise ClassificationError("queue_batches must be >= 1")
+    if ring_slots < 1:
+        raise ClassificationError("ring_slots must be >= 1")
     spec = WorkerSpec(backend=backend, capacity=capacity, seed=seed)
     spec.validate(workers)
+    if ring_slot_packets is None:
+        ring_slot_packets = getattr(source, "chunk_packets", DEFAULT_CHUNK_PACKETS)
 
     context = _context()
-    out_queue = context.Queue()
-    in_queues = [context.Queue(maxsize=queue_batches)
-                 for _ in range(workers)]
-    worker_processes = [
-        context.Process(
-            target=_worker_main,
-            args=(worker_id, workers, spec, slot_seconds, start,
-                  in_queues[worker_id], out_queue),
-            daemon=True,
-            name=f"repro-worker-{worker_id}",
-        )
-        for worker_id in range(workers)
-    ]
-    reader = context.Process(
-        target=_reader_main,
-        args=(source, resolver, workers, in_queues, out_queue),
-        daemon=True,
-        name="repro-reader",
-    )
-    fleet = _Fleet(reader=reader, workers=worker_processes,
-                   runs=[[] for _ in range(workers)])
-    processes = [reader, *worker_processes]
+    rings: list[ShmRing] = []
+    processes: list = []
     try:
+        rings = [
+            ShmRing.create(ring_slots, ring_slot_packets) for _ in range(workers)
+        ]
+        out_queue = context.Queue()
+        free_queues = [context.Queue() for _ in range(workers)]
+        data_queues = [context.Queue() for _ in range(workers)]
+        worker_processes = [
+            context.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    workers,
+                    spec,
+                    slot_seconds,
+                    start,
+                    rings[worker_id].spec,
+                    free_queues[worker_id],
+                    data_queues[worker_id],
+                    out_queue,
+                ),
+                daemon=True,
+                name=f"repro-worker-{worker_id}",
+            )
+            for worker_id in range(workers)
+        ]
+        reader = context.Process(
+            target=_reader_main,
+            args=(
+                source,
+                resolver,
+                workers,
+                [ring.spec for ring in rings],
+                free_queues,
+                data_queues,
+                out_queue,
+            ),
+            daemon=True,
+            name="repro-reader",
+        )
+        fleet = _Fleet(
+            reader=reader,
+            workers=worker_processes,
+            runs=[[] for _ in range(workers)],
+        )
+        processes = [reader, *worker_processes]
         for process in processes:
             process.start()
         while not fleet.finished:
@@ -461,14 +572,18 @@ def parallel_ingest(source: PacketSource, resolver: "PrefixResolver",
                 )
     finally:
         _shutdown(processes)
-    return ParallelIngestResult(runs=fleet.runs, stats=fleet.stats,
-                                workers=workers, start=start)
+        for ring in rings:
+            ring.destroy()
+    return ParallelIngestResult(
+        runs=fleet.runs, stats=fleet.stats, workers=workers, start=start
+    )
 
 
 __all__ = [
-    "DEFAULT_QUEUE_BATCHES",
+    "FAULT_ENV",
     "ParallelIngestResult",
     "RowResolver",
+    "START_METHOD_ENV",
     "WorkerSpec",
     "parallel_ingest",
 ]

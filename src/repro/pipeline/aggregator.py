@@ -192,11 +192,18 @@ class StreamingAggregator:
         if not keep.any():
             return []
 
-        slots = slots[keep]
-        sizes = batch.wire_bytes[keep]
-        rows = rows[keep]
-        timestamps = timestamps[keep]
-        self.stats.packets_matched += int(keep.sum())
+        if keep.all():
+            # all-routed in-order batches — the worker hot path, where
+            # the columns are views into a shared-memory ring slot —
+            # skip four full-batch fancy-index copies
+            sizes = batch.wire_bytes
+            self.stats.packets_matched += int(keep.size)
+        else:
+            slots = slots[keep]
+            sizes = batch.wire_bytes[keep]
+            rows = rows[keep]
+            timestamps = timestamps[keep]
+            self.stats.packets_matched += int(keep.sum())
         self.stats.bytes_matched += int(sizes.sum())
 
         # Group by slot (stable: preserves time order within a slot) and

@@ -51,7 +51,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.errors import ClassificationError
-from repro.flows.records import FlowRecord, grouped_packet_stats
+from repro.flows.records import FlowRecord
 from repro.net.prefix import Prefix
 from repro.pipeline.sources import SlotFrame, SlotSource
 from repro.sketches.array_tables import (
@@ -174,10 +174,35 @@ class ExactAggregation(AggregationBackend):
         super().__init__()
         self._open = np.zeros(0)
         self._key_row = np.full(0, -1, dtype=np.int64)
+        # flat per-row lifetime accumulators; FlowRecord objects are
+        # materialised on demand in flow_records(), never on the hot
+        # path
+        self._rec_packets = np.zeros(0, dtype=np.int64)
+        self._rec_bytes = np.zeros(0)
+        self._rec_first = np.full(0, np.inf)
+        self._rec_last = np.full(0, -np.inf)
 
     @property
     def tracked_flows(self) -> int:
         return len(self.prefixes)
+
+    def _grow_rows(self, population: int) -> None:
+        """Grow every per-row array geometrically to ``population``."""
+        size = self._open.size
+        if population <= size:
+            return
+        grown = max(population, 2 * size)
+
+        def extend(array: np.ndarray, fill, dtype=None) -> np.ndarray:
+            out = np.full(grown, fill, dtype=dtype)
+            out[:size] = array
+            return out
+
+        self._open = extend(self._open, 0.0)
+        self._rec_packets = extend(self._rec_packets, 0, np.int64)
+        self._rec_bytes = extend(self._rec_bytes, 0.0)
+        self._rec_first = extend(self._rec_first, np.inf)
+        self._rec_last = extend(self._rec_last, -np.inf)
 
     def accumulate(
         self,
@@ -207,27 +232,17 @@ class ExactAggregation(AggregationBackend):
                 row = len(self.prefixes)
                 self._row_of[key] = row
                 self._key_row[key] = row
-                prefix = prefix_of(key)
-                self.prefixes.append(prefix)
-                self._records.append(FlowRecord(prefix))
+                self.prefixes.append(prefix_of(key))
         population = len(self.prefixes)
-        size = self._open.size
-        if population > size:
-            grown = np.zeros(max(population, 2 * size))
-            grown[:size] = self._open
-            self._open = grown
+        self._grow_rows(population)
         rows = self._key_row[keys]
         np.add.at(self._open, rows, sizes)
-        counts, byte_sums, first, last = grouped_packet_stats(
-            rows, sizes, timestamps, population
-        )
-        for row in np.flatnonzero(counts).tolist():
-            self._records[row].add_group(
-                int(counts[row]),
-                int(byte_sums[row]),
-                float(first[row]),
-                float(last[row]),
-            )
+        # lifetime accounting stays in the flat arrays: four ufunc.at
+        # passes over the group instead of a Python loop per active row
+        np.add.at(self._rec_packets, rows, 1)
+        np.add.at(self._rec_bytes, rows, sizes)
+        np.minimum.at(self._rec_first, rows, timestamps)
+        np.maximum.at(self._rec_last, rows, timestamps)
         self.peak_tracked = max(self.peak_tracked, population)
 
     def close_slot(self) -> np.ndarray:
@@ -238,6 +253,27 @@ class ExactAggregation(AggregationBackend):
         self._open[:population] = 0.0
         self.slots_closed += 1
         return closed
+
+    def flow_records(self) -> list[FlowRecord]:
+        """Materialise per-row records from the flat accumulators.
+
+        Each call builds a fresh snapshot; callers holding an earlier
+        list do not see later traffic (the live-object behaviour of the
+        scalar sketch backends is not part of the contract).
+        """
+        records: list[FlowRecord] = []
+        for row, prefix in enumerate(self.prefixes):
+            record = FlowRecord(prefix)
+            packets = int(self._rec_packets[row])
+            if packets:
+                record.add_group(
+                    packets,
+                    int(self._rec_bytes[row]),
+                    float(self._rec_first[row]),
+                    float(self._rec_last[row]),
+                )
+            records.append(record)
+        return records
 
 
 class _PendingEntry:

@@ -50,9 +50,7 @@ def shard_of(keys: np.ndarray, num_shards: int) -> np.ndarray:
     if num_shards < 1:
         raise ClassificationError("num_shards must be >= 1")
     hashed = keys.astype(np.uint64) * _HASH_MULTIPLIER
-    return ((hashed >> _HASH_SHIFT) % np.uint64(num_shards)).astype(
-        np.int64
-    )
+    return ((hashed >> _HASH_SHIFT) % np.uint64(num_shards)).astype(np.int64)
 
 
 class ShardedAggregation(AggregationBackend):
@@ -82,8 +80,7 @@ class ShardedAggregation(AggregationBackend):
         kinds = {shard.residual_row is not None for shard in shards}
         if len(kinds) > 1:
             raise ClassificationError(
-                "shard backends must be homogeneous: all exact or all "
-                "sketch"
+                "shard backends must be homogeneous: all exact or all sketch"
             )
         for shard in shards:
             if shard.slots_closed or shard.peak_tracked:
@@ -103,13 +100,15 @@ class ShardedAggregation(AggregationBackend):
         #: Per shard: outer row of inner row ``offset + i`` (the
         #: residual row, when present, is handled separately).
         self._shard_rows: list[list[int]] = [[] for _ in shards]
+        #: Dense key → outer row map mirroring ``_row_of`` (flow keys
+        #: are resolver rows, so a flat vector beats the dict walk on
+        #: the exact-shard hot path).
+        self._key_row = np.full(0, -1, dtype=np.int64)
         if self._sketched:
             self.residual_row = 0
             self.prefixes = [RESIDUAL_PREFIX]
-            self._records = [FlowRecord(RESIDUAL_PREFIX)]
             self.capacity = sum(
-                shard.capacity for shard in shards
-                if shard.capacity is not None
+                shard.capacity for shard in shards if shard.capacity is not None
             )
         else:
             self.residual_row = None
@@ -124,8 +123,13 @@ class ShardedAggregation(AggregationBackend):
     def tracked_flows(self) -> int:
         return sum(shard.tracked_flows for shard in self.shards)
 
-    def accumulate(self, keys: np.ndarray, sizes: np.ndarray,
-                   timestamps: np.ndarray, prefix_of: PrefixOf) -> None:
+    def accumulate(
+        self,
+        keys: np.ndarray,
+        sizes: np.ndarray,
+        timestamps: np.ndarray,
+        prefix_of: PrefixOf,
+    ) -> None:
         if keys.size == 0:
             return
         if not self._sketched:
@@ -140,15 +144,21 @@ class ShardedAggregation(AggregationBackend):
         order = np.argsort(homes, kind="stable")
         sorted_homes = homes[order]
         keys, sizes, timestamps = (
-            keys[order], sizes[order], timestamps[order],
+            keys[order],
+            sizes[order],
+            timestamps[order],
         )
         boundaries = np.flatnonzero(np.diff(sorted_homes)) + 1
         starts = np.concatenate(([0], boundaries))
         ends = np.concatenate((boundaries, [sorted_homes.size]))
         for start, end in zip(starts.tolist(), ends.tolist()):
             shard = self.shards[int(sorted_homes[start])]
-            shard.accumulate(keys[start:end], sizes[start:end],
-                             timestamps[start:end], prefix_of)
+            shard.accumulate(
+                keys[start:end],
+                sizes[start:end],
+                timestamps[start:end],
+                prefix_of,
+            )
         self.peak_tracked = max(self.peak_tracked, self.tracked_flows)
 
     def close_slot(self) -> np.ndarray:
@@ -162,8 +172,9 @@ class ShardedAggregation(AggregationBackend):
             if self._sketched:
                 merged[0] += vector[0]
                 vector = vector[1:]
-            rows = np.asarray(self._shard_rows[index][:vector.size],
-                              dtype=np.int64)
+            rows = np.asarray(
+                self._shard_rows[index][: vector.size], dtype=np.int64
+            )
             if rows.size:
                 # keys are disjoint across shards, but the residual fold
                 # above already shows why add-at is the safe idiom here
@@ -172,17 +183,32 @@ class ShardedAggregation(AggregationBackend):
         return merged
 
     def flow_records(self) -> list[FlowRecord]:
+        """Merged per-row records, re-fetched from the shards per call.
+
+        Exact shards materialise their records lazily at call time, so
+        the merged view rebuilds from every shard's current snapshot
+        instead of adopting live record objects; sketch residuals fold
+        into row 0 as before.
+        """
         for index in range(self.num_shards):
             self._extend_map(index)
-        records = list(self._records)
+        records = [FlowRecord(prefix) for prefix in self.prefixes]
+        offset = 1 if self._sketched else 0
         if self._sketched:
-            merged = FlowRecord(RESIDUAL_PREFIX)
+            merged = records[0]
             for shard in self.shards:
                 inner = shard.flow_records()[0]
                 if inner.packets or inner.bytes_total:
-                    merged.add_group(inner.packets, inner.bytes_total,
-                                     inner.first_seen, inner.last_seen)
-            records[0] = merged
+                    merged.add_group(
+                        inner.packets,
+                        inner.bytes_total,
+                        inner.first_seen,
+                        inner.last_seen,
+                    )
+        for index, shard in enumerate(self.shards):
+            shard_records = shard.flow_records()
+            for inner_index, row in enumerate(self._shard_rows[index]):
+                records[row] = shard_records[offset + inner_index]
         return records
 
     # ------------------------------------------------------------------
@@ -192,14 +218,25 @@ class ShardedAggregation(AggregationBackend):
     def _assign_rows(self, keys: np.ndarray, prefix_of: PrefixOf) -> None:
         """Mirror ExactAggregation's first-traffic row numbering."""
         unique, first_index = np.unique(keys, return_index=True)
-        for key in unique[np.argsort(first_index)].tolist():
-            if key not in self._row_of:
-                self._row_of[key] = len(self.prefixes)
-                prefix = prefix_of(key)
-                self.prefixes.append(prefix)
-                # placeholder until the home shard's record exists;
-                # _extend_map swaps in the shard's live record object
-                self._records.append(FlowRecord(prefix))
+        top = int(unique[-1]) + 1
+        size = self._key_row.size
+        if top > size:
+            grown = np.full(max(top, 2 * size), -1, dtype=np.int64)
+            grown[:size] = self._key_row
+            self._key_row = grown
+        known = self._key_row[unique]
+        new = known < 0
+        if not new.any():
+            return
+        # only genuinely-new keys reach Python; repeat traffic stays in
+        # the vector compare above
+        fresh = unique[new]
+        arrival = np.argsort(first_index[new])
+        for key in fresh[arrival].tolist():
+            row = len(self.prefixes)
+            self._row_of[key] = row
+            self._key_row[key] = row
+            self.prefixes.append(prefix_of(key))
 
     def _extend_map(self, index: int) -> None:
         """Map any new rows of shard ``index`` onto the population."""
@@ -209,7 +246,6 @@ class ShardedAggregation(AggregationBackend):
         if len(keys) == len(row_map):
             return
         offset = 1 if self._sketched else 0
-        shard_records = shard.flow_records()
         for inner_index in range(len(row_map), len(keys)):
             key = keys[inner_index]
             row = self._row_of.get(key)
@@ -218,14 +254,5 @@ class ShardedAggregation(AggregationBackend):
                 # it its outer row now, in (shard, inner-row) order
                 row = len(self.prefixes)
                 self._row_of[key] = row
-                self.prefixes.append(
-                    shard.prefixes[offset + inner_index]
-                )
-                self._records.append(
-                    shard_records[offset + inner_index]
-                )
-            else:
-                # exact shards earn outer rows in _assign_rows; adopt
-                # the shard's live record in place of the placeholder
-                self._records[row] = shard_records[offset + inner_index]
+                self.prefixes.append(shard.prefixes[offset + inner_index])
             row_map.append(row)

@@ -52,8 +52,7 @@ _ETHERTYPE_IPV4 = 0x0800
 _RECORD_HEADER_BYTES = 16
 
 
-def _uint32_at(raw: np.ndarray, offsets: np.ndarray,
-               little: bool) -> np.ndarray:
+def _uint32_at(raw: np.ndarray, offsets: np.ndarray, little: bool) -> np.ndarray:
     """Gather 32-bit unsigned fields at ``offsets`` from a byte array."""
     shifts = (0, 8, 16, 24) if little else (24, 16, 8, 0)
     value = raw[offsets].astype(np.int64) << shifts[0]
@@ -77,6 +76,28 @@ class PacketBatch:
     protocols: np.ndarray
     wire_bytes: np.ndarray
     packets_seen: int
+
+    @classmethod
+    def of_flows(
+        cls, timestamps: np.ndarray, keys: np.ndarray, wire_bytes: np.ndarray
+    ) -> "PacketBatch":
+        """A batch over pre-resolved flow keys, without padding copies.
+
+        The shared-memory ring ships only the three columns the
+        aggregation path reads; the unused source/protocol columns are
+        zero-stride broadcast views, so building the batch allocates
+        nothing — the columns can be ingested in place, straight out of
+        a ring slot.
+        """
+        zeros = np.broadcast_to(np.int64(0), (timestamps.size,))
+        return cls(
+            timestamps=timestamps,
+            sources=zeros,
+            destinations=keys,
+            protocols=zeros,
+            wire_bytes=wire_bytes,
+            packets_seen=timestamps.size,
+        )
 
     @property
     def num_packets(self) -> int:
@@ -158,8 +179,7 @@ class PcapPacketSource:
     monitor keeps running when an LLDP frame goes by.
     """
 
-    def __init__(self, path: str,
-                 chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> None:
+    def __init__(self, path: str, chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> None:
         if chunk_packets < 1:
             raise ClassificationError("chunk_packets must be >= 1")
         self.path = path
@@ -169,16 +189,13 @@ class PcapPacketSource:
         with open(self.path, "rb") as stream:
             header = read_header(stream)
             if header.linktype not in (LINKTYPE_ETHERNET, LINKTYPE_RAW_IP):
-                raise PcapFormatError(
-                    f"unsupported linktype {header.linktype}"
-                )
+                raise PcapFormatError(f"unsupported linktype {header.linktype}")
             byte_order = "little" if header.byte_order == "<" else "big"
             divisor = 1e9 if header.nanosecond else 1e6
             # Reject over-snaplen lengths inside the chase loop: a
             # corrupt length field must fail at that record, not after
             # buffering the rest of the file hunting for its "end".
-            max_captured = (header.snaplen if header.snaplen > 0
-                            else 0x7FFFFFFF)
+            max_captured = header.snaplen if header.snaplen > 0 else 0x7FFFFFFF
             buffer = bytearray()  # += extends in place, no quadratic copy
             position = 0
             pending: list[int] = []  # record-header offsets into buffer
@@ -191,9 +208,7 @@ class PcapPacketSource:
                 limit = len(buffer) - _RECORD_HEADER_BYTES
                 want = self.chunk_packets
                 while len(pending) < want and position <= limit:
-                    incl = from_bytes(
-                        buffer[position + 8:position + 12], byte_order
-                    )
+                    incl = from_bytes(buffer[position + 8 : position + 12], byte_order)
                     if incl > max_captured:
                         raise PcapFormatError(
                             f"record claims {incl} bytes, above snaplen "
@@ -205,8 +220,7 @@ class PcapPacketSource:
                     pending.append(position)
                     position = jump
                 if len(pending) >= self.chunk_packets:
-                    yield self._emit(buffer, position, pending, header,
-                                     divisor)
+                    yield self._emit(buffer, position, pending, header, divisor)
                     del buffer[:position]
                     position = 0
                     pending = []
@@ -217,8 +231,7 @@ class PcapPacketSource:
                     if position < len(buffer):
                         raise PcapFormatError("truncated pcap record header")
                     if pending:
-                        yield self._emit(buffer, position, pending, header,
-                                         divisor)
+                        yield self._emit(buffer, position, pending, header, divisor)
                     return
                 block = stream.read(READ_BLOCK_BYTES)
                 if block:
@@ -226,12 +239,17 @@ class PcapPacketSource:
                 else:
                     eof = True
 
-    def _emit(self, buffer: bytearray, position: int, pending: list[int],
-              header: PcapHeader, divisor: float) -> PacketBatch:
+    def _emit(
+        self,
+        buffer: bytearray,
+        position: int,
+        pending: list[int],
+        header: PcapHeader,
+        divisor: float,
+    ) -> PacketBatch:
         # Copy out of the mutable bytearray: holding a view would make
         # the `del buffer[:position]` reclaim a BufferError.
-        raw = np.frombuffer(bytes(memoryview(buffer)[:position]),
-                            dtype=np.uint8)
+        raw = np.frombuffer(bytes(memoryview(buffer)[:position]), dtype=np.uint8)
         starts = np.array(pending, dtype=np.int64)
         little = header.byte_order == "<"
         seconds = _uint32_at(raw, starts, little)
@@ -239,15 +257,27 @@ class PcapPacketSource:
         capture_len = _uint32_at(raw, starts + 8, little)
         original_len = _uint32_at(raw, starts + 12, little)
         return self._build_batch(
-            raw, header.linktype, divisor, seconds, fractions,
-            capture_len, original_len, starts + _RECORD_HEADER_BYTES,
+            raw,
+            header.linktype,
+            divisor,
+            seconds,
+            fractions,
+            capture_len,
+            original_len,
+            starts + _RECORD_HEADER_BYTES,
         )
 
     @staticmethod
-    def _build_batch(raw: np.ndarray, linktype: int, divisor: float,
-                     seconds: np.ndarray, fractions: np.ndarray,
-                     capture_len: np.ndarray, original_len: np.ndarray,
-                     offset: np.ndarray) -> PacketBatch:
+    def _build_batch(
+        raw: np.ndarray,
+        linktype: int,
+        divisor: float,
+        seconds: np.ndarray,
+        fractions: np.ndarray,
+        capture_len: np.ndarray,
+        original_len: np.ndarray,
+        offset: np.ndarray,
+    ) -> PacketBatch:
         scanned = offset.size
         overhead = _ETHERNET_HEADER if linktype == LINKTYPE_ETHERNET else 0
 
@@ -266,8 +296,7 @@ class PcapPacketSource:
         high = raw[ip + _IP_TOTAL_LENGTH].astype(np.int64)
         total_length = (high << 8) | raw[ip + _IP_TOTAL_LENGTH + 1]
         truncated = original_len[keep] > capture_len[keep]
-        wire = np.where(truncated, original_len[keep],
-                        overhead + total_length)
+        wire = np.where(truncated, original_len[keep], overhead + total_length)
 
         def dword(base: np.ndarray) -> np.ndarray:
             value = raw[base].astype(np.int64)
@@ -275,8 +304,10 @@ class PcapPacketSource:
                 value = (value << 8) | raw[base + byte]
             return value
 
-        timestamps = (seconds.astype(np.float64)[keep]
-                      + fractions.astype(np.float64)[keep] / divisor)
+        timestamps = (
+            seconds.astype(np.float64)[keep]
+            + fractions.astype(np.float64)[keep] / divisor
+        )
         return PacketBatch(
             timestamps=timestamps,
             sources=dword(ip + _IP_SOURCE),
@@ -295,8 +326,7 @@ class CsvPacketSource:
     already shed payloads.
     """
 
-    def __init__(self, path: str,
-                 chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> None:
+    def __init__(self, path: str, chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> None:
         if chunk_packets < 1:
             raise ClassificationError("chunk_packets must be >= 1")
         self.path = path
@@ -319,7 +349,8 @@ class CsvPacketSource:
                 timestamps.append(float(cells[0]))
                 destination = cells[1].strip()
                 destinations.append(
-                    ipv4.parse_ipv4(destination) if "." in destination
+                    ipv4.parse_ipv4(destination)
+                    if "." in destination
                     else int(destination)
                 )
                 sizes.append(int(cells[2]))
@@ -330,8 +361,9 @@ class CsvPacketSource:
                 yield self._build(timestamps, destinations, sizes)
 
     @staticmethod
-    def _build(timestamps: list[float], destinations: list[int],
-               sizes: list[int]) -> PacketBatch:
+    def _build(
+        timestamps: list[float], destinations: list[int], sizes: list[int]
+    ) -> PacketBatch:
         count = len(timestamps)
         return PacketBatch(
             timestamps=np.array(timestamps, dtype=np.float64),
@@ -354,18 +386,20 @@ class ArrayPacketSource:
     in tests and benchmarks.
     """
 
-    def __init__(self, timestamps: np.ndarray, destinations: np.ndarray,
-                 wire_bytes: np.ndarray,
-                 chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> None:
+    def __init__(
+        self,
+        timestamps: np.ndarray,
+        destinations: np.ndarray,
+        wire_bytes: np.ndarray,
+        chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+    ) -> None:
         if chunk_packets < 1:
             raise ClassificationError("chunk_packets must be >= 1")
         timestamps = np.asarray(timestamps, dtype=np.float64)
         destinations = np.asarray(destinations, dtype=np.int64)
         wire_bytes = np.asarray(wire_bytes)
         if not (timestamps.size == destinations.size == wire_bytes.size):
-            raise ClassificationError(
-                "packet arrays must be parallel (equal length)"
-            )
+            raise ClassificationError("packet arrays must be parallel (equal length)")
         self.timestamps = timestamps
         self.destinations = destinations
         self.wire_bytes = wire_bytes
@@ -420,9 +454,11 @@ class ScenarioSlotSource(MatrixSlotSource):
     matrix replays through the slot interface.
     """
 
-    def __init__(self, link: str = "west", scale: float = 0.25,
-                 seed: int | None = None) -> None:
+    def __init__(
+        self, link: str = "west", scale: float = 0.25, seed: int | None = None
+    ) -> None:
         from repro.traffic.scenarios import east_coast_link, west_coast_link
+
         if link == "west":
             factory = west_coast_link
         elif link == "east":

@@ -8,16 +8,21 @@ fleet, and empty/degenerate streams do not wedge anything.
 """
 
 import multiprocessing
+import os
 
 import numpy as np
 import pytest
 
 from repro.distributed import (
+    ParallelIngestResult,
     RowResolver,
+    SlotSummary,
     WorkerSpec,
     parallel_ingest,
 )
+from repro.distributed.shm_ring import SHM_NAME_PREFIX
 from repro.errors import ClassificationError, ReproError
+from repro.flows.aggregate import AggregationStats
 from repro.net.prefix import Prefix
 from repro.pipeline import (
     AggregatingSlotSource,
@@ -58,6 +63,14 @@ def elephants_by_start(events):
 
 def assert_no_orphans():
     assert multiprocessing.active_children() == []
+
+
+def assert_no_ring_segments():
+    try:
+        names = os.listdir("/dev/shm")
+    except FileNotFoundError:
+        return
+    assert [n for n in names if n.startswith(SHM_NAME_PREFIX)] == []
 
 
 class TestParallelIngest:
@@ -144,18 +157,49 @@ class TestCrashHandling:
         with pytest.raises(ReproError, match="worker0"):
             ingest(workers=2)
         assert_no_orphans()
+        assert_no_ring_segments()
 
     def test_hard_worker_crash_detected(self, monkeypatch):
         monkeypatch.setenv("REPRO_RUNNER_FAULT", "worker:1:hard")
         with pytest.raises(ReproError, match="worker 1 exited"):
             ingest(workers=2)
         assert_no_orphans()
+        assert_no_ring_segments()
 
     def test_reader_failure_is_one_clean_error(self, monkeypatch):
         monkeypatch.setenv("REPRO_RUNNER_FAULT", "reader")
         with pytest.raises(ReproError, match="reader"):
             ingest(workers=2)
         assert_no_orphans()
+        assert_no_ring_segments()
+
+
+class TestParallelIngestResult:
+    @staticmethod
+    def summary(start, monitor=""):
+        return SlotSummary(
+            slot=0, start=start, slot_seconds=SLOT_SECONDS,
+            prefixes=(Prefix.parse("10.0.0.0/16"),),
+            volumes=np.array([1000.0]), monitor=monitor,
+        )
+
+    def test_num_slots_bins_against_the_unaligned_origin(self):
+        # start=30 puts every summary half a slot off the raw grid;
+        # round(90/60) and round(150/60) both give 2 (banker's
+        # rounding), which used to fold two distinct cells into one
+        result = ParallelIngestResult(
+            runs=[[self.summary(30.0), self.summary(90.0)],
+                  [self.summary(150.0)]],
+            stats=AggregationStats(), workers=2, start=30.0,
+        )
+        assert result.num_slots == 3
+
+    def test_num_slots_with_derived_axis_floors_from_zero(self):
+        result = ParallelIngestResult(
+            runs=[[self.summary(0.0)], [self.summary(120.0)]],
+            stats=AggregationStats(), workers=2,
+        )
+        assert result.num_slots == 2
 
 
 class TestWorkerSpec:
