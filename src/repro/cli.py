@@ -10,10 +10,15 @@ Commands:
   pipeline: pcap in, verdicts out, memory bounded by O(flows × window)
   however long the capture is. Also replays ``.npz``/``.csv`` matrices,
   shards the flow table (``--shards``), forks true multi-process
-  ingestion (``--workers``), and exports per-slot summaries for a
-  collector (``--summary-out``).
+  ingestion (``--workers``), exports per-slot summaries for a
+  collector (``--summary-out``), and streams them live into a running
+  collector daemon (``--connect``).
 - ``merge``    — merge per-monitor summary files slot by slot at a
   collector and classify the stitched link.
+- ``collect``  — run the collector as a live network service: listen
+  for monitor connections, merge and classify slots as they arrive.
+- ``query``    — ask a running ``collect`` daemon for its merged state
+  (current elephants, residual fraction, skew, monitor liveness).
 - ``figures``  — run the full two-link paper experiment and render
   Figure 1(a)–(c) as ASCII charts.
 
@@ -24,6 +29,7 @@ lines of Python away.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 import zipfile
@@ -32,19 +38,29 @@ from typing import Sequence
 from repro.analysis.elephants import ElephantSeries
 from repro.analysis.holding import HoldingTimeAnalysis
 from repro.analysis.report import format_table
-from repro.distributed import (
-    DEFAULT_RING_SLOTS,
-    Collector,
-    SlotSummary,
-    load_summaries,
-    parallel_ingest,
-    save_summaries,
-)
 from repro.core.engine import (
     ClassificationEngine,
     EngineConfig,
     Feature,
     Scheme,
+)
+from repro.distributed import (
+    DEFAULT_RING_SLOTS,
+    Collector,
+    SlotSummary,
+    elephant_entries,
+    load_summaries,
+    parallel_ingest,
+    save_summaries,
+)
+from repro.distributed.service import (
+    DEFAULT_LINK,
+    DEFAULT_MAX_INFLIGHT,
+    CollectorService,
+    MonitorClient,
+    parse_address,
+    publish_summaries,
+    query_service,
 )
 from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
@@ -82,111 +98,320 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     simulate = commands.add_parser(
-        "simulate", help="generate a synthetic link workload",
+        "simulate",
+        help="generate a synthetic link workload",
     )
     simulate.add_argument("output", help="output .npz path for the matrix")
-    simulate.add_argument("--link", choices=("west", "east"),
-                          default="west", help="which paper link profile")
-    simulate.add_argument("--scale", type=float, default=0.25,
-                          help="workload scale in (0, 1]")
-    simulate.add_argument("--seed", type=int, default=None,
-                          help="override the scenario seed")
+    simulate.add_argument(
+        "--link",
+        choices=("west", "east"),
+        default="west",
+        help="which paper link profile",
+    )
+    simulate.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="workload scale in (0, 1]",
+    )
+    simulate.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the scenario seed",
+    )
 
     classify = commands.add_parser(
-        "classify", help="classify a saved rate matrix",
+        "classify",
+        help="classify a saved rate matrix",
     )
     classify.add_argument("matrix", help=".npz file from `repro simulate`")
     _add_classifier_options(classify)
-    classify.add_argument("--json", action="store_true",
-                          help="print a machine-readable JSON summary")
+    classify.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary",
+    )
 
     stream = commands.add_parser(
-        "stream", help="classify a capture slot by slot (streaming)",
+        "stream",
+        help="classify a capture slot by slot (streaming)",
     )
-    stream.add_argument("input",
-                        help=".pcap capture, flow-record .csv, or a "
-                             ".npz/.csv rate matrix to replay")
+    stream.add_argument(
+        "input",
+        help=".pcap capture, flow-record .csv, or a "
+        ".npz/.csv rate matrix to replay",
+    )
     _add_classifier_options(stream)
-    stream.add_argument("--slot-seconds", type=float, default=60.0,
-                        help="slot length for packet inputs (seconds)")
-    stream.add_argument("--rib", metavar="FILE",
-                        help="prefix file (one CIDR per line) used as "
-                             "LPM flow keys for packet inputs")
-    stream.add_argument("--prefix-length", type=int, default=16,
-                        help="fixed-length flow granularity when no "
-                             "--rib is given")
-    stream.add_argument("--backend", choices=BACKEND_NAMES,
-                        default="exact",
-                        help="aggregation backend: exact tracks every "
-                             "flow; sketch backends bound tracked state")
-    stream.add_argument("--capacity", type=int, default=None,
-                        help="tracked-flow table size for sketch backends")
-    stream.add_argument("--memory-budget", metavar="BYTES", default=None,
-                        help="size the sketch capacity from a byte budget "
-                             "(suffixes k/m/g), instead of --capacity; "
-                             "accounts for --shards")
-    stream.add_argument("--shards", type=int, default=1,
-                        help="partition the flow table across N shard "
-                             "backends merged at slot close")
-    stream.add_argument("--workers", type=int, default=1,
-                        help="fork N shard worker processes fed by a "
-                             "reader process (true multi-process "
-                             "ingestion; packet inputs only)")
-    stream.add_argument("--ring-slots", type=int,
-                        default=DEFAULT_RING_SLOTS,
-                        help="shared-memory ring slots per worker: the "
-                             "batches in flight before the reader "
-                             "blocks (backpressure bound)")
-    stream.add_argument("--summary-out", metavar="FILE", default=None,
-                        help="write per-slot summaries (.npz) for "
-                             "`repro merge`")
-    stream.add_argument("--quiet", action="store_true",
-                        help="suppress the per-slot monitor lines")
-    stream.add_argument("--json", action="store_true",
-                        help="print a machine-readable JSON summary")
+    stream.add_argument(
+        "--slot-seconds",
+        type=float,
+        default=60.0,
+        help="slot length for packet inputs (seconds)",
+    )
+    stream.add_argument(
+        "--rib",
+        metavar="FILE",
+        help="prefix file (one CIDR per line) used as "
+        "LPM flow keys for packet inputs",
+    )
+    stream.add_argument(
+        "--prefix-length",
+        type=int,
+        default=16,
+        help="fixed-length flow granularity when no --rib is given",
+    )
+    stream.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="exact",
+        help="aggregation backend: exact tracks every "
+        "flow; sketch backends bound tracked state",
+    )
+    stream.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="tracked-flow table size for sketch backends",
+    )
+    stream.add_argument(
+        "--memory-budget",
+        metavar="BYTES",
+        default=None,
+        help="size the sketch capacity from a byte budget "
+        "(suffixes k/m/g), instead of --capacity; "
+        "accounts for --shards",
+    )
+    stream.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the flow table across N shard "
+        "backends merged at slot close",
+    )
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fork N shard worker processes fed by a "
+        "reader process (true multi-process "
+        "ingestion; packet inputs only)",
+    )
+    stream.add_argument(
+        "--ring-slots",
+        type=int,
+        default=DEFAULT_RING_SLOTS,
+        help="shared-memory ring slots per worker: the "
+        "batches in flight before the reader "
+        "blocks (backpressure bound)",
+    )
+    stream.add_argument(
+        "--summary-out",
+        metavar="FILE",
+        default=None,
+        help="write per-slot summaries (.npz) for `repro merge`",
+    )
+    stream.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="stream per-slot summaries live into a "
+        "running `repro collect --listen` daemon",
+    )
+    stream.add_argument(
+        "--monitor",
+        default=None,
+        help="monitor name announced to the collector "
+        "(default: the input path)",
+    )
+    stream.add_argument(
+        "--link-name",
+        default=DEFAULT_LINK,
+        metavar="LINK",
+        help="link this monitor taps, for --connect",
+    )
+    stream.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-slot monitor lines",
+    )
+    stream.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary",
+    )
 
     merge = commands.add_parser(
-        "merge", help="merge monitor summaries at a collector, classify",
+        "merge",
+        help="merge monitor summaries at a collector, classify",
     )
-    merge.add_argument("summaries", nargs="+",
-                       help=".npz summary files from "
-                            "`repro stream --summary-out`, one per "
-                            "monitor")
+    merge.add_argument(
+        "summaries",
+        nargs="+",
+        help=".npz summary files from "
+        "`repro stream --summary-out`, one per monitor",
+    )
     _add_classifier_options(merge)
-    merge.add_argument("--k", type=int, default=None,
-                       help="re-truncate the merged table to K entries "
-                            "per slot (untracked mass stays in the "
-                            "residual)")
-    merge.add_argument("--quiet", action="store_true",
-                       help="suppress the per-slot monitor lines")
-    merge.add_argument("--json", action="store_true",
-                       help="print a machine-readable JSON summary")
+    merge.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="re-truncate the merged table to K entries "
+        "per slot (untracked mass stays in the residual)",
+    )
+    merge.add_argument(
+        "--fill-gaps",
+        action="store_true",
+        help="emit empty slots for intervals no monitor "
+        "covered (what the live collector does)",
+    )
+    merge.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-slot monitor lines",
+    )
+    merge.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary",
+    )
+
+    collect = commands.add_parser(
+        "collect",
+        help="run the collector as a live network service",
+    )
+    collect.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default="127.0.0.1:0",
+        help="address to listen on (port 0 picks a free port)",
+    )
+    _add_classifier_options(collect)
+    collect.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="re-truncate each merged slot to K entries",
+    )
+    collect.add_argument(
+        "--no-fill-gaps",
+        action="store_true",
+        help="do not synthesise empty slots for intervals "
+        "no monitor covered",
+    )
+    collect.add_argument(
+        "--max-inflight",
+        type=int,
+        default=DEFAULT_MAX_INFLIGHT,
+        help="unacked summaries each monitor may keep on "
+        "the wire (the backpressure window)",
+    )
+    collect.add_argument(
+        "--once",
+        type=int,
+        default=None,
+        metavar="RUNS",
+        help="exit after N monitor runs completed cleanly "
+        "and no monitor is connected",
+    )
+    collect.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep answering queries this long after the "
+        "--once condition is met",
+    )
+    collect.add_argument(
+        "--port-file",
+        metavar="FILE",
+        default=None,
+        help="write the bound HOST:PORT here once listening "
+        "(for scripts using port 0)",
+    )
+    collect.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the startup and shutdown lines",
+    )
+
+    query = commands.add_parser(
+        "query",
+        help="query a running collector service",
+    )
+    query.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="where `repro collect --listen` is serving",
+    )
+    query.add_argument(
+        "--link",
+        default=None,
+        help="link to report on (optional with a single link)",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="connection timeout in seconds",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON report",
+    )
 
     figures = commands.add_parser(
-        "figures", help="run the paper experiment, render Figure 1",
+        "figures",
+        help="run the paper experiment, render Figure 1",
     )
     figures.add_argument("--scale", type=float, default=0.25)
     return parser
 
 
 def _add_classifier_options(command: argparse.ArgumentParser) -> None:
-    command.add_argument("--scheme", choices=("aest", "constant-load"),
-                         default="constant-load")
-    command.add_argument("--feature", choices=("single", "latent-heat"),
-                         default="latent-heat")
-    command.add_argument("--alpha", type=float, default=0.9,
-                         help="EWMA smoothing weight")
-    command.add_argument("--beta", type=float, default=0.8,
-                         help="constant-load target share")
-    command.add_argument("--window", type=int, default=12,
-                         help="latent-heat window in slots")
+    command.add_argument(
+        "--scheme",
+        choices=("aest", "constant-load"),
+        default="constant-load",
+    )
+    command.add_argument(
+        "--feature",
+        choices=("single", "latent-heat"),
+        default="latent-heat",
+    )
+    command.add_argument(
+        "--alpha",
+        type=float,
+        default=0.9,
+        help="EWMA smoothing weight",
+    )
+    command.add_argument(
+        "--beta",
+        type=float,
+        default=0.8,
+        help="constant-load target share",
+    )
+    command.add_argument(
+        "--window",
+        type=int,
+        default=12,
+        help="latent-heat window in slots",
+    )
 
 
 def _scheme_and_feature(args: argparse.Namespace) -> tuple[Scheme, Feature]:
     scheme = Scheme.AEST if args.scheme == "aest" else Scheme.CONSTANT_LOAD
-    feature = (Feature.SINGLE if args.feature == "single"
-               else Feature.LATENT_HEAT)
+    feature = (
+        Feature.SINGLE if args.feature == "single" else Feature.LATENT_HEAT
+    )
     return scheme, feature
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    return EngineConfig(
+        alpha=args.alpha, beta=args.beta, window=args.window
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -196,47 +421,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         workload = east_coast_link(scale=args.scale, **kwargs)
     workload.matrix.save_npz(args.output)
-    print(f"wrote {workload.matrix.num_flows} flows x "
-          f"{workload.matrix.num_slots} slots to {args.output} "
-          f"(mean utilisation {workload.mean_utilization():.0%})")
+    print(
+        f"wrote {workload.matrix.num_flows} flows x "
+        f"{workload.matrix.num_slots} slots to {args.output} "
+        f"(mean utilisation {workload.mean_utilization():.0%})"
+    )
     return 0
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args.matrix)
     scheme, feature = _scheme_and_feature(args)
-    engine = ClassificationEngine(matrix, EngineConfig(
-        alpha=args.alpha, beta=args.beta, window=args.window,
-    ))
+    engine = ClassificationEngine(matrix, _engine_config(args))
     result = engine.run(scheme, feature)
     series = ElephantSeries.from_result(result)
     analysis = HoldingTimeAnalysis.from_result(result, busy_hours=None)
     if args.json:
-        print(json.dumps({
-            "run": result.label,
-            "num_flows": matrix.num_flows,
-            "num_slots": matrix.num_slots,
-            "mean_elephants_per_slot": series.mean_count,
-            "mean_traffic_fraction": series.mean_fraction,
-            "mean_holding_minutes": analysis.mean_minutes,
-            "single_interval_flows": analysis.single_interval_flows,
-            "threshold_fallbacks": len(result.thresholds.fallback_slots),
-        }, indent=2))
+        print(
+            json.dumps(
+                {
+                    "run": result.label,
+                    "num_flows": matrix.num_flows,
+                    "num_slots": matrix.num_slots,
+                    "mean_elephants_per_slot": series.mean_count,
+                    "mean_traffic_fraction": series.mean_fraction,
+                    "mean_holding_minutes": analysis.mean_minutes,
+                    "single_interval_flows": (
+                        analysis.single_interval_flows
+                    ),
+                    "threshold_fallbacks": len(
+                        result.thresholds.fallback_slots
+                    ),
+                },
+                indent=2,
+            )
+        )
         return 0
-    print(format_table(
-        ["metric", "value"],
-        [
-            ["run", result.label],
-            ["flows x slots",
-             f"{matrix.num_flows} x {matrix.num_slots}"],
-            ["mean elephants/slot", round(series.mean_count)],
-            ["mean traffic fraction", f"{series.mean_fraction:.2f}"],
-            ["mean holding (min)", f"{analysis.mean_minutes:.0f}"],
-            ["one-slot flows", analysis.single_interval_flows],
-            ["threshold fallbacks", len(result.thresholds.fallback_slots)],
-        ],
-        title="classification summary",
-    ))
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["run", result.label],
+                [
+                    "flows x slots",
+                    f"{matrix.num_flows} x {matrix.num_slots}",
+                ],
+                ["mean elephants/slot", round(series.mean_count)],
+                ["mean traffic fraction", f"{series.mean_fraction:.2f}"],
+                ["mean holding (min)", f"{analysis.mean_minutes:.0f}"],
+                ["one-slot flows", analysis.single_interval_flows],
+                [
+                    "threshold fallbacks",
+                    len(result.thresholds.fallback_slots),
+                ],
+            ],
+            title="classification summary",
+        )
+    )
     return 0
 
 
@@ -260,8 +501,9 @@ def _load_rib_prefixes(path: str) -> CompiledLpm:
     return CompiledLpm(prefixes)
 
 
-def _capacity_from_args(args: argparse.Namespace,
-                        shards: int) -> int | None:
+def _capacity_from_args(
+    args: argparse.Namespace, shards: int
+) -> int | None:
     """Resolve ``--capacity``/``--memory-budget`` to a total capacity.
 
     ``shards`` is whatever splits the table — ``--shards`` tables in
@@ -276,13 +518,15 @@ def _capacity_from_args(args: argparse.Namespace,
                 "give one"
             )
         budget = parse_memory_budget(args.memory_budget)
-        capacity = capacity_for_budget(args.backend, budget,
-                                       shards=shards)
+        capacity = capacity_for_budget(
+            args.backend, budget, shards=shards
+        )
     return capacity
 
 
-def _backend_from_args(args: argparse.Namespace
-                       ) -> AggregationBackend | None:
+def _backend_from_args(
+    args: argparse.Namespace,
+) -> AggregationBackend | None:
     """Build the aggregation backend the stream flags describe.
 
     Returns ``None`` for the default exact backend so callers can keep
@@ -293,8 +537,9 @@ def _backend_from_args(args: argparse.Namespace
         return None
     # validation (exact rejects capacity, capacity >= 1, ...) lives in
     # make_backend so the CLI and library fail identically
-    return make_backend(args.backend, capacity=capacity,
-                        shards=args.shards)
+    return make_backend(
+        args.backend, capacity=capacity, shards=args.shards
+    )
 
 
 def _load_matrix(path: str) -> RateMatrix:
@@ -341,9 +586,10 @@ def _packet_input(args: argparse.Namespace):
     return packets, resolver
 
 
-def _stream_source(args: argparse.Namespace,
-                   backend: AggregationBackend | None,
-                   ) -> tuple[SlotSource, StreamingAggregator | None]:
+def _stream_source(
+    args: argparse.Namespace,
+    backend: AggregationBackend | None,
+) -> tuple[SlotSource, StreamingAggregator | None]:
     """Build the slot source (and aggregator, for packet inputs).
 
     For packet inputs the backend bounds the aggregator's flow table;
@@ -353,9 +599,9 @@ def _stream_source(args: argparse.Namespace,
     if packet_input is None:
         return MatrixSlotSource(_load_matrix(args.input)), None
     packets, resolver = packet_input
-    aggregator = StreamingAggregator(resolver,
-                                     slot_seconds=args.slot_seconds,
-                                     backend=backend)
+    aggregator = StreamingAggregator(
+        resolver, slot_seconds=args.slot_seconds, backend=backend
+    )
     return AggregatingSlotSource(packets, aggregator), aggregator
 
 
@@ -363,20 +609,24 @@ def _print_slot_line(event) -> None:
     """One monitor line per classified slot (stream and merge)."""
     total = float(event.frame.rates.sum())
     elephant = float(
-        event.frame.rates[event.verdict.elephant_mask[
-            :event.frame.num_flows]].sum()
+        event.frame.rates[
+            event.verdict.elephant_mask[: event.frame.num_flows]
+        ].sum()
     )
     fraction = elephant / total if total > 0 else 0.0
-    print(f"slot {event.frame.slot:4d}  "
-          f"t={event.frame.start:12.1f}  "
-          f"flows={event.frame.num_flows:5d}  "
-          f"threshold={event.verdict.thresholds.smoothed / 1e3:9.1f} "
-          f"kb/s  elephants={event.verdict.num_elephants:4d}  "
-          f"fraction={fraction:.2f}")
+    print(
+        f"slot {event.frame.slot:4d}  "
+        f"t={event.frame.start:12.1f}  "
+        f"flows={event.frame.num_flows:5d}  "
+        f"threshold={event.verdict.thresholds.smoothed / 1e3:9.1f} "
+        f"kb/s  elephants={event.verdict.num_elephants:4d}  "
+        f"fraction={fraction:.2f}"
+    )
 
 
-def _print_summary(summary: dict[str, object], as_json: bool,
-                   title: str) -> None:
+def _print_summary(
+    summary: dict[str, object], as_json: bool, title: str
+) -> None:
     if as_json:
         print(json.dumps(summary, indent=2))
         return
@@ -384,8 +634,13 @@ def _print_summary(summary: dict[str, object], as_json: bool,
     print(format_table(["metric", "value"], rows, title=title))
 
 
-def _cmd_stream_parallel(args: argparse.Namespace, scheme: Scheme,
-                         feature: Feature) -> int:
+def _monitor_name(args: argparse.Namespace) -> str:
+    return args.monitor if args.monitor else args.input
+
+
+def _cmd_stream_parallel(
+    args: argparse.Namespace, scheme: Scheme, feature: Feature
+) -> int:
     """``repro stream --workers N``: reader → workers → collector."""
     if args.shards > 1:
         raise ReproError(
@@ -402,17 +657,21 @@ def _cmd_stream_parallel(args: argparse.Namespace, scheme: Scheme,
     packets, resolver = packet_input
     capacity = _capacity_from_args(args, args.workers)
     ingest = parallel_ingest(
-        packets, resolver, workers=args.workers,
-        slot_seconds=args.slot_seconds, backend=args.backend,
-        capacity=capacity, ring_slots=args.ring_slots,
+        packets,
+        resolver,
+        workers=args.workers,
+        slot_seconds=args.slot_seconds,
+        backend=args.backend,
+        capacity=capacity,
+        ring_slots=args.ring_slots,
     )
     if all(not run for run in ingest.runs):
         print("no slots in input", file=sys.stderr)
         return 1
     collector = ingest.collector(
-        scheme=scheme, feature=feature,
-        config=EngineConfig(alpha=args.alpha, beta=args.beta,
-                            window=args.window),
+        scheme=scheme,
+        feature=feature,
+        config=_engine_config(args),
     )
     slots = 0
     for event in collector.events():
@@ -423,8 +682,11 @@ def _cmd_stream_parallel(args: argparse.Namespace, scheme: Scheme,
         save_summaries(args.summary_out, collector.merged)
     series = collector.series()
     pipeline = collector.pipeline()
-    num_flows = (pipeline.classifier.num_flows
-                 if pipeline.classifier is not None else 0)
+    num_flows = (
+        pipeline.classifier.num_flows
+        if pipeline.classifier is not None
+        else 0
+    )
     if num_flows > 0:
         num_flows -= 1  # merged frames always carry a residual row
     summary: dict[str, object] = {
@@ -446,6 +708,23 @@ def _cmd_stream_parallel(args: argparse.Namespace, scheme: Scheme,
         summary["capacity"] = capacity
     if args.summary_out is not None:
         summary["summary_out"] = args.summary_out
+    if args.connect is not None:
+        # The fleet's summaries already met at the in-process
+        # collector; ship the merged run to the remote daemon as one
+        # monitor, after the fact.
+        try:
+            stats = publish_summaries(
+                parse_address(args.connect),
+                collector.merged,
+                monitor=_monitor_name(args),
+                link=args.link_name,
+            )
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach collector at {args.connect!r}: {exc}"
+            ) from exc
+        summary["connect"] = args.connect
+        summary.update(stats)
     _print_summary(summary, args.json, "stream summary")
     return 0
 
@@ -458,34 +737,62 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         return _cmd_stream_parallel(args, scheme, feature)
     backend = _backend_from_args(args)
     source, aggregator = _stream_source(args, backend)
-    pipeline = StreamingPipeline(source, scheme=scheme, feature=feature,
-                                 config=EngineConfig(
-                                     alpha=args.alpha, beta=args.beta,
-                                     window=args.window,
-                                 ),
-                                 backend=(backend if aggregator is None
-                                          else None))
+    pipeline = StreamingPipeline(
+        source,
+        scheme=scheme,
+        feature=feature,
+        config=_engine_config(args),
+        backend=(backend if aggregator is None else None),
+    )
+    client: MonitorClient | None = None
+    if args.connect is not None:
+        try:
+            client = MonitorClient(
+                parse_address(args.connect),
+                _monitor_name(args),
+                link=args.link_name,
+            )
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach collector at {args.connect!r}: {exc}"
+            ) from exc
     slots = 0
     summaries: list[SlotSummary] = []
     for event in pipeline.events():
         slots += 1
-        if args.summary_out is not None:
-            summaries.append(SlotSummary.from_frame(
-                event.frame, source.slot_seconds, monitor=args.input,
-            ))
+        if args.summary_out is not None or client is not None:
+            record = SlotSummary.from_frame(
+                event.frame,
+                source.slot_seconds,
+                monitor=_monitor_name(args),
+            )
+            if args.summary_out is not None:
+                summaries.append(record)
+            if client is not None:
+                # live export: each sealed slot goes out as soon as
+                # it is classified, paced by the collector's acks
+                client.publish(record)
         if args.quiet or args.json:
             continue
         _print_slot_line(event)
+    if client is not None:
+        client.close()
     if slots == 0:
         print("no slots in input", file=sys.stderr)
         return 1
     if args.summary_out is not None:
         save_summaries(args.summary_out, summaries)
     series = pipeline.series()
-    num_flows = (pipeline.classifier.num_flows
-                 if pipeline.classifier is not None else 0)
-    if (backend is not None and backend.residual_row is not None
-            and num_flows > 0):
+    num_flows = (
+        pipeline.classifier.num_flows
+        if pipeline.classifier is not None
+        else 0
+    )
+    if (
+        backend is not None
+        and backend.residual_row is not None
+        and num_flows > 0
+    ):
         num_flows -= 1  # the residual accounting row is not a flow
     summary: dict[str, object] = {
         "run": pipeline.label,
@@ -498,25 +805,39 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.shards > 1:
         summary["shards"] = args.shards
     if backend is not None:
-        summary.update({
-            "capacity": backend.capacity,
-            "tracked_flows": backend.tracked_flows,
-            "peak_tracked_flows": backend.peak_tracked,
-            "population_rows": backend.num_rows,
-        })
+        summary.update(
+            {
+                "capacity": backend.capacity,
+                "tracked_flows": backend.tracked_flows,
+                "peak_tracked_flows": backend.peak_tracked,
+                "population_rows": backend.num_rows,
+            }
+        )
         if backend.residual_row is not None:
-            summary["mean_residual_fraction"] = \
+            summary["mean_residual_fraction"] = (
                 series.mean_residual_fraction
+            )
     if aggregator is not None:
-        summary.update({
-            "packets_seen": aggregator.stats.packets_seen,
-            "packets_matched": aggregator.stats.packets_matched,
-            "packets_unrouted": aggregator.stats.packets_unrouted,
-            "packets_skipped": aggregator.stats.packets_skipped,
-            "bytes_matched": aggregator.stats.bytes_matched,
-        })
+        summary.update(
+            {
+                "packets_seen": aggregator.stats.packets_seen,
+                "packets_matched": aggregator.stats.packets_matched,
+                "packets_unrouted": aggregator.stats.packets_unrouted,
+                "packets_skipped": aggregator.stats.packets_skipped,
+                "bytes_matched": aggregator.stats.bytes_matched,
+            }
+        )
     if args.summary_out is not None:
         summary["summary_out"] = args.summary_out
+    if client is not None:
+        summary.update(
+            {
+                "connect": args.connect,
+                "published": client.published,
+                "stale": client.stale,
+                "skipped": client.skipped,
+            }
+        )
     _print_summary(summary, args.json, "stream summary")
     return 0
 
@@ -525,13 +846,20 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     scheme, feature = _scheme_and_feature(args)
     runs = [load_summaries(path) for path in args.summaries]
     collector = Collector(
-        runs, k=args.k, scheme=scheme, feature=feature,
-        config=EngineConfig(alpha=args.alpha, beta=args.beta,
-                            window=args.window),
+        runs,
+        k=args.k,
+        scheme=scheme,
+        feature=feature,
+        config=_engine_config(args),
+        fill_gaps=args.fill_gaps,
     )
     slots = 0
+    slot_entries: list[list[dict[str, object]]] = []
     for event in collector.events():
         slots += 1
+        slot_entries.append(
+            elephant_entries(event.frame, event.verdict)
+        )
         if args.quiet or args.json:
             continue
         _print_slot_line(event)
@@ -540,8 +868,11 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         return 1
     series = collector.series()
     pipeline = collector.pipeline()
-    num_flows = (pipeline.classifier.num_flows
-                 if pipeline.classifier is not None else 0)
+    num_flows = (
+        pipeline.classifier.num_flows
+        if pipeline.classifier is not None
+        else 0
+    )
     if num_flows > 0:
         num_flows -= 1  # merged frames always carry a residual row
     summary: dict[str, object] = {
@@ -555,12 +886,122 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         "mean_traffic_fraction": series.mean_fraction,
         "mean_residual_fraction": series.mean_residual_fraction,
     }
-    skewed = {str(index): offset
-              for index, offset in collector.skew_estimate.items()
-              if offset}
+    skewed = {
+        str(index): offset
+        for index, offset in collector.skew_estimate.items()
+        if offset
+    }
     if skewed:
         summary["clock_skew_seconds"] = skewed
+    if args.json:
+        # the same helper the live service serialises with, so
+        # `repro query --json` and `repro merge --json` agree exactly
+        summary["elephants"] = slot_entries[-1]
+        summary["elephants_by_slot"] = slot_entries
     _print_summary(summary, args.json, "merge summary")
+    return 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    scheme, feature = _scheme_and_feature(args)
+    host, port = parse_address(args.listen)
+    if args.max_inflight < 1:
+        raise ReproError("--max-inflight must be >= 1")
+    if args.once is not None and args.once < 1:
+        raise ReproError("--once must be >= 1")
+    service = CollectorService(
+        host,
+        port,
+        k=args.k,
+        fill_gaps=not args.no_fill_gaps,
+        scheme=scheme,
+        feature=feature,
+        config=_engine_config(args),
+        max_inflight=args.max_inflight,
+        once=args.once,
+    )
+
+    async def _serve() -> None:
+        bound_host, bound_port = await service.start()
+        if args.port_file is not None:
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{bound_host}:{bound_port}\n")
+        if not args.quiet:
+            print(
+                f"collector listening on {bound_host}:{bound_port}",
+                flush=True,
+            )
+        try:
+            await service.wait_done()
+            if args.linger > 0:
+                await asyncio.sleep(args.linger)
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    if not args.quiet:
+        collector = service.collector
+        sealed = sum(
+            link.slots_sealed for link in collector.links.values()
+        )
+        print(
+            f"collector done: {collector.runs_completed} monitor "
+            f"runs, {len(collector.links)} links, {sealed} slots "
+            "sealed"
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    try:
+        report = query_service(
+            parse_address(args.address),
+            link=args.link,
+            timeout=args.timeout,
+        )
+    except OSError as exc:
+        raise ReproError(
+            f"cannot reach collector at {args.address!r}: {exc}"
+        ) from exc
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    monitors = report.get("monitors", {})
+    connected = sum(
+        1 for status in monitors.values() if status.get("connected")
+    )
+    rows = [
+        ["link", report.get("link")],
+        ["slot seconds", report.get("slot_seconds")],
+        ["slots sealed", report.get("slots")],
+        ["residual fraction", f"{report.get('residual_fraction', 0):.4f}"],
+        ["monitors", f"{connected} connected / {len(monitors)} known"],
+    ]
+    skewed = {
+        name: offset
+        for name, offset in report.get("skew_estimate", {}).items()
+        if offset
+    }
+    if skewed:
+        rows.append(["clock skew (s)", skewed])
+    print(format_table(["metric", "value"], rows, title="collector state"))
+    elephants = report.get("elephants", [])
+    if elephants:
+        print(
+            format_table(
+                ["prefix", "rate (kb/s)"],
+                [
+                    [entry["prefix"], f"{entry['rate_bps'] / 1e3:.1f}"]
+                    for entry in elephants
+                ],
+                title="current elephants",
+            )
+        )
+    else:
+        print("no elephants in the latest slot")
     return 0
 
 
@@ -587,6 +1028,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "classify": _cmd_classify,
         "stream": _cmd_stream,
         "merge": _cmd_merge,
+        "collect": _cmd_collect,
+        "query": _cmd_query,
         "figures": _cmd_figures,
     }
     try:

@@ -10,15 +10,30 @@ pipeline. :func:`parallel_ingest` runs the same dataflow across real
 processes on one host — a reader dealing hash-partitioned packets to
 worker-owned backends whose slot summaries meet at the collector —
 while :class:`~repro.pipeline.sharded.ShardedAggregation` remains the
-in-process flavour of the identical split. :func:`estimate_clock_skew`
-is the collector's guard against monitors whose clocks drifted past a
-slot boundary.
+in-process flavour of the identical split.
+:class:`CollectorService` is the over-the-network flavour: a live TCP
+daemon (``repro collect --listen``) that monitors stream summaries
+into and ``repro query`` reads merged state out of, sealing slots
+incrementally through the very same merge primitives.
+:func:`estimate_clock_skew` is the collector's guard against monitors
+whose clocks drifted past a slot boundary.
 """
 
-from repro.distributed.collector import Collector, MergedSlotSource
+from repro.distributed.collector import (
+    Collector,
+    MergedSlotSource,
+    elephant_entries,
+)
+from repro.distributed.framing import (
+    FrameDecoder,
+    encode_frame,
+    encode_json_frame,
+    encode_summary,
+)
 from repro.distributed.merge import (
     MergedRun,
     estimate_clock_skew,
+    estimate_skew_from_totals,
     merge_runs,
     merge_summaries,
 )
@@ -28,6 +43,16 @@ from repro.distributed.runner import (
     RowResolver,
     WorkerSpec,
     parallel_ingest,
+)
+from repro.distributed.service import (
+    CollectorService,
+    LiveCollector,
+    LiveLink,
+    MonitorClient,
+    ServiceHandle,
+    parse_address,
+    publish_summaries,
+    query_service,
 )
 from repro.distributed.shm_ring import (
     DEFAULT_RING_SLOTS,
@@ -44,22 +69,36 @@ from repro.distributed.summary import (
 
 __all__ = [
     "Collector",
+    "CollectorService",
     "DEFAULT_RING_SLOTS",
+    "FrameDecoder",
+    "LiveCollector",
+    "LiveLink",
     "MergedRun",
     "MergedSlotSource",
+    "MonitorClient",
     "ParallelIngestResult",
     "RingConsumer",
     "RingSpec",
     "RingWriter",
     "RowResolver",
+    "ServiceHandle",
     "ShmRing",
     "SlotSummary",
     "StridedPacketSource",
     "WorkerSpec",
+    "elephant_entries",
+    "encode_frame",
+    "encode_json_frame",
+    "encode_summary",
     "estimate_clock_skew",
+    "estimate_skew_from_totals",
     "load_summaries",
     "merge_runs",
     "merge_summaries",
     "parallel_ingest",
+    "parse_address",
+    "publish_summaries",
+    "query_service",
     "save_summaries",
 ]

@@ -13,6 +13,12 @@ This is the partial-information regime: a merged, re-truncated summary
 under-represents small flows, so every merged frame carries residual
 row 0 (conserving the unseen mass) and the classifier excludes it from
 elephant verdicts, exactly as it does for single-monitor sketch runs.
+
+:class:`Collector` is the batch flavour (all runs in hand, merge once,
+classify); the live network service in
+:mod:`repro.distributed.service` drives the same
+:class:`MergedSlotSource` row bookkeeping one sealed slot at a time
+through :meth:`MergedSlotSource.frame_of`.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import numpy as np
 from repro.analysis.elephants import ElephantSeries
 from repro.core.engine import EngineConfig, Feature, Scheme
 from repro.core.result import ClassificationResult
+from repro.core.streaming import SlotVerdict
 from repro.distributed.merge import merge_runs
 from repro.distributed.summary import SlotSummary
 from repro.errors import ClassificationError
@@ -31,6 +38,30 @@ from repro.net.prefix import Prefix
 from repro.pipeline.backends import RESIDUAL_PREFIX
 from repro.pipeline.engine import StreamEvent, StreamingPipeline, run_stream
 from repro.pipeline.sources import SlotFrame
+
+
+def elephant_entries(
+    frame: SlotFrame, verdict: SlotVerdict
+) -> list[dict[str, object]]:
+    """The canonical serialized elephant set for one classified slot.
+
+    One ``{"prefix": ..., "rate_bps": ...}`` entry per elephant,
+    ordered by descending rate then prefix text. This is the single
+    serialization point shared by ``repro merge --json`` and the live
+    service's ``repro query`` replies, so the two paths answer "which
+    flows are elephants right now" with byte-identical JSON for the
+    same summaries — the contract the regression tests lock down.
+    """
+    entries = [
+        {
+            "prefix": str(frame.population[row]),
+            "rate_bps": float(frame.rates[row]),
+        }
+        for row in verdict.elephants().tolist()
+        if row != frame.residual_row
+    ]
+    entries.sort(key=lambda entry: (-entry["rate_bps"], entry["prefix"]))
+    return entries
 
 
 class MergedSlotSource:
@@ -41,43 +72,67 @@ class MergedSlotSource:
     frame's rates vector covers the population discovered so far. A
     tracked default route (``0.0.0.0/0``) is folded into the residual
     row rather than duplicated.
+
+    Construction takes either a non-empty merged run (the batch path:
+    :meth:`slots` replays it) or an explicit ``slot_seconds`` with no
+    summaries yet (the live path: the collector service pushes sealed
+    slots through :meth:`frame_of` as they happen, and the row
+    bookkeeping persists across calls).
     """
 
-    def __init__(self, merged: Sequence[SlotSummary]) -> None:
+    def __init__(
+        self,
+        merged: Sequence[SlotSummary],
+        slot_seconds: float | None = None,
+    ) -> None:
         merged = list(merged)
-        if not merged:
+        if not merged and slot_seconds is None:
             raise ClassificationError("no merged slots to stream")
         self.merged = merged
-        self.slot_seconds = merged[0].slot_seconds
+        self.slot_seconds = (
+            merged[0].slot_seconds if merged else slot_seconds
+        )
         self.residual_row = 0
         self.prefixes: list[Prefix] = [RESIDUAL_PREFIX]
         self._row_of: dict[Prefix, int] = {}
 
-    def slots(self) -> Iterator[SlotFrame]:
-        scale = 8.0 / self.slot_seconds
-        for summary in self.merged:
-            residual = summary.residual_bytes
-            for prefix in summary.prefixes:
-                if (prefix not in self._row_of
-                        and prefix != RESIDUAL_PREFIX):
-                    self._row_of[prefix] = len(self.prefixes)
-                    self.prefixes.append(prefix)
-            rates = np.zeros(len(self.prefixes))
-            for prefix, volume in zip(summary.prefixes,
-                                      summary.volumes.tolist()):
-                if prefix == RESIDUAL_PREFIX:
-                    residual += volume
-                    continue
-                rates[self._row_of[prefix]] += volume
-            rates[0] = residual
-            rates *= scale
-            yield SlotFrame(
-                slot=summary.slot,
-                start=summary.start,
-                rates=rates,
-                population=self.prefixes,
-                residual_row=self.residual_row,
+    def frame_of(self, summary: SlotSummary) -> SlotFrame:
+        """The next slot frame, growing the population as needed.
+
+        Call in slot order; rows assigned to prefixes are permanent,
+        so frames produced across calls share one coordinate system.
+        """
+        if summary.slot_seconds != self.slot_seconds:
+            raise ClassificationError(
+                f"summary on a {summary.slot_seconds}s grid pushed "
+                f"into a {self.slot_seconds}s source"
             )
+        residual = summary.residual_bytes
+        for prefix in summary.prefixes:
+            if prefix not in self._row_of and prefix != RESIDUAL_PREFIX:
+                self._row_of[prefix] = len(self.prefixes)
+                self.prefixes.append(prefix)
+        rates = np.zeros(len(self.prefixes))
+        for prefix, volume in zip(
+            summary.prefixes, summary.volumes.tolist()
+        ):
+            if prefix == RESIDUAL_PREFIX:
+                residual += volume
+                continue
+            rates[self._row_of[prefix]] += volume
+        rates[0] = residual
+        rates *= 8.0 / self.slot_seconds
+        return SlotFrame(
+            slot=summary.slot,
+            start=summary.start,
+            rates=rates,
+            population=self.prefixes,
+            residual_row=self.residual_row,
+        )
+
+    def slots(self) -> Iterator[SlotFrame]:
+        for summary in self.merged:
+            yield self.frame_of(summary)
 
 
 class Collector:
@@ -92,15 +147,19 @@ class Collector:
     in :attr:`skew_estimate`) surface at construction, not mid-stream.
     """
 
-    def __init__(self, runs: Sequence[Sequence[SlotSummary]],
-                 k: int | None = None,
-                 scheme: Scheme = Scheme.CONSTANT_LOAD,
-                 feature: Feature = Feature.LATENT_HEAT,
-                 config: EngineConfig | None = None,
-                 fill_gaps: bool = False,
-                 check_skew: bool = True) -> None:
-        self.merged = merge_runs(runs, k=k, fill_gaps=fill_gaps,
-                                 check_skew=check_skew)
+    def __init__(
+        self,
+        runs: Sequence[Sequence[SlotSummary]],
+        k: int | None = None,
+        scheme: Scheme = Scheme.CONSTANT_LOAD,
+        feature: Feature = Feature.LATENT_HEAT,
+        config: EngineConfig | None = None,
+        fill_gaps: bool = False,
+        check_skew: bool = True,
+    ) -> None:
+        self.merged = merge_runs(
+            runs, k=k, fill_gaps=fill_gaps, check_skew=check_skew
+        )
         #: Collector-side clock-skew estimate per monitor run (seconds).
         self.skew_estimate = self.merged.skew_estimate
         self.num_monitors = len(runs)
@@ -123,7 +182,9 @@ class Collector:
         """The classifying pipeline (created on first use)."""
         if self._pipeline is None:
             self._pipeline = StreamingPipeline(
-                self.source(), scheme=self.scheme, feature=self.feature,
+                self.source(),
+                scheme=self.scheme,
+                feature=self.feature,
                 config=self.config,
             )
         return self._pipeline
@@ -138,8 +199,12 @@ class Collector:
 
     def classify(self) -> tuple[ClassificationResult, ElephantSeries]:
         """Run the merged stream end to end (independent of events())."""
-        return run_stream(self.source(), scheme=self.scheme,
-                          feature=self.feature, config=self.config)
+        return run_stream(
+            self.source(),
+            scheme=self.scheme,
+            feature=self.feature,
+            config=self.config,
+        )
 
 
-__all__ = ["Collector", "MergedSlotSource"]
+__all__ = ["Collector", "MergedSlotSource", "elephant_entries"]

@@ -10,7 +10,11 @@ the merged slot still conserves every byte any monitor saw.
 
 :func:`merge_summaries` merges one slot across monitors;
 :func:`merge_runs` aligns whole monitor runs slot by slot, tolerating
-monitors that missed slots (their contribution is simply absent).
+monitors that missed slots (their contribution is simply absent). The
+live collector service performs the identical computation one cell at
+a time through the same primitives — :func:`grid_cell`,
+:func:`merge_summaries`, :func:`gap_summary` — which is what keeps its
+answers slot-identical to an offline merge of the same summaries.
 
 Alignment is by grid cell, which *trusts monitor clocks*: a monitor
 whose clock drifts past a slot boundary silently mis-bins its traffic.
@@ -20,13 +24,16 @@ lags, and :func:`merge_runs` raises a
 :class:`~repro.errors.ClockSkewWarning` (and records the estimate on
 the returned :class:`MergedRun`) when a run's totals line up better one
 or more slots away from where its timestamps put them.
+:func:`estimate_skew_from_totals` is the same estimator over
+pre-reduced per-cell byte totals, the shape a long-lived service can
+afford to keep when the summaries themselves have been retired.
 """
 
 from __future__ import annotations
 
 import math
 import warnings
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -54,9 +61,21 @@ SKEW_MIN_CORRELATION = 0.9
 SKEW_MIN_T_STATISTIC = 8.0
 
 
-def merge_summaries(summaries: Sequence[SlotSummary],
-                    k: int | None = None,
-                    slot: int | None = None) -> SlotSummary:
+def grid_cell(start: float, slot_seconds: float) -> int:
+    """The slot-grid cell containing the interval starting at ``start``.
+
+    Starts are grid-aligned by construction; ``round`` guards the
+    float division, it does not re-bin off-grid starts (those fail the
+    exact start check inside :func:`merge_summaries`).
+    """
+    return int(round(start / slot_seconds))
+
+
+def merge_summaries(
+    summaries: Sequence[SlotSummary],
+    k: int | None = None,
+    slot: int | None = None,
+) -> SlotSummary:
     """Merge one slot's summaries from several monitors.
 
     All inputs must cover the same interval — equal ``start`` and
@@ -73,8 +92,10 @@ def merge_summaries(summaries: Sequence[SlotSummary],
         raise ClassificationError("no summaries to merge")
     head = summaries[0]
     for summary in summaries[1:]:
-        if (summary.start != head.start
-                or summary.slot_seconds != head.slot_seconds):
+        if (
+            summary.start != head.start
+            or summary.slot_seconds != head.slot_seconds
+        ):
             raise ClassificationError(
                 f"summary interval (start {summary.start}, grid "
                 f"{summary.slot_seconds}s) does not align with "
@@ -85,16 +106,18 @@ def merge_summaries(summaries: Sequence[SlotSummary],
     residual = 0.0
     for summary in summaries:
         residual += summary.residual_bytes
-        for prefix, volume in zip(summary.prefixes,
-                                  summary.volumes.tolist()):
+        for prefix, volume in zip(
+            summary.prefixes, summary.volumes.tolist()
+        ):
             totals[prefix] = totals.get(prefix, 0.0) + volume
     merged = SlotSummary(
         slot=head.slot if slot is None else slot,
         start=head.start,
         slot_seconds=head.slot_seconds,
         prefixes=tuple(totals),
-        volumes=np.fromiter(totals.values(), dtype=np.float64,
-                            count=len(totals)),
+        volumes=np.fromiter(
+            totals.values(), dtype=np.float64, count=len(totals)
+        ),
         residual_bytes=residual,
         monitor=f"merged[{len(summaries)}]",
     )
@@ -112,8 +135,11 @@ class MergedRun(list):
     when too little overlap exists to tell).
     """
 
-    def __init__(self, summaries: Iterable[SlotSummary],
-                 skew_estimate: dict[int, float] | None = None) -> None:
+    def __init__(
+        self,
+        summaries: Iterable[SlotSummary],
+        skew_estimate: dict[int, float] | None = None,
+    ) -> None:
         super().__init__(summaries)
         self.skew_estimate: dict[int, float] = dict(skew_estimate or {})
 
@@ -125,19 +151,27 @@ class MergedRun(list):
         return max(abs(value) for value in self.skew_estimate.values())
 
 
-def _cell_totals(run: Sequence[SlotSummary],
-                 seconds: float) -> dict[int, float]:
-    """Per-grid-cell byte totals for one monitor run."""
+def cell_totals(
+    run: Sequence[SlotSummary], seconds: float
+) -> dict[int, float]:
+    """Per-grid-cell byte totals for one monitor run.
+
+    The reduction the skew estimator runs on — and the only per-run
+    state a live collector needs to retain for it.
+    """
     totals: dict[int, float] = {}
     for summary in run:
-        cell = int(round(summary.start / seconds))
+        cell = grid_cell(summary.start, seconds)
         totals[cell] = totals.get(cell, 0.0) + summary.total_bytes
     return totals
 
 
-def _lag_correlation(reference: dict[int, float],
-                     other: dict[int, float], lag: int,
-                     min_overlap: int) -> tuple[float, int] | None:
+def _lag_correlation(
+    reference: Mapping[int, float],
+    other: Mapping[int, float],
+    lag: int,
+    min_overlap: int,
+) -> tuple[float, int] | None:
     """Pearson r (and sample size) of reference[c] vs other[c + lag]."""
     cells = [cell for cell in reference if cell + lag in other]
     if len(cells) < min_overlap:
@@ -151,14 +185,62 @@ def _lag_correlation(reference: dict[int, float],
 
 def _significance_floor(count: int) -> float:
     """The r below which ``count`` points cannot clear the t floor."""
-    t_squared = SKEW_MIN_T_STATISTIC ** 2
+    t_squared = SKEW_MIN_T_STATISTIC**2
     return math.sqrt(t_squared / (t_squared + count - 2))
 
 
-def estimate_clock_skew(runs: Sequence[Sequence[SlotSummary]],
-                        max_lag_slots: int = MAX_SKEW_SLOTS,
-                        min_overlap: int = MIN_SKEW_OVERLAP,
-                        ) -> dict[int, float]:
+def estimate_skew_from_totals(
+    totals: Sequence[Mapping[int, float]],
+    grid: float,
+    max_lag_slots: int = MAX_SKEW_SLOTS,
+    min_overlap: int = MIN_SKEW_OVERLAP,
+) -> dict[int, float]:
+    """Clock-skew estimates over pre-reduced per-cell byte totals.
+
+    ``totals[i]`` maps grid cell → bytes for monitor run ``i`` (the
+    shape :func:`cell_totals` produces). The longest run anchors the
+    comparison; every other run's totals are correlated against the
+    anchor's at slot lags ``-max_lag_slots .. +max_lag_slots``. See
+    :func:`estimate_clock_skew` for the decision rule.
+    """
+    estimates = {index: 0.0 for index in range(len(totals))}
+    if len(totals) < 2:
+        return estimates
+    anchor_index = max(range(len(totals)), key=lambda i: len(totals[i]))
+    anchor = totals[anchor_index]
+    for index, cells in enumerate(totals):
+        if index == anchor_index:
+            continue
+        aligned = _lag_correlation(anchor, cells, 0, min_overlap)
+        best_lag, best = 0, aligned
+        for lag in range(-max_lag_slots, max_lag_slots + 1):
+            if lag == 0:
+                continue
+            score = _lag_correlation(anchor, cells, lag, min_overlap)
+            if score is None:
+                continue
+            if best is None or score[0] > best[0]:
+                best_lag, best = lag, score
+        if best_lag == 0 or best is None:
+            continue
+        correlation, count = best
+        floor = 0.0 if aligned is None else max(aligned[0], 0.0)
+        if (
+            correlation >= SKEW_MIN_CORRELATION
+            and correlation >= _significance_floor(count)
+            and correlation >= floor + SKEW_MARGIN
+        ):
+            # other[c + lag] matches anchor[c]: the run's totals sit
+            # `lag` cells later than the traffic, so its clock is ahead
+            estimates[index] = best_lag * grid
+    return estimates
+
+
+def estimate_clock_skew(
+    runs: Sequence[Sequence[SlotSummary]],
+    max_lag_slots: int = MAX_SKEW_SLOTS,
+    min_overlap: int = MIN_SKEW_OVERLAP,
+) -> dict[int, float]:
     """Estimate each run's clock offset from overlapping slot totals.
 
     The longest run anchors the comparison. For every other run, the
@@ -180,43 +262,23 @@ def estimate_clock_skew(runs: Sequence[Sequence[SlotSummary]],
     estimates = {index: 0.0 for index in range(len(runs))}
     if len(runs) < 2:
         return estimates
-    seconds = {summary.slot_seconds
-               for run in runs for summary in run}
+    seconds = {summary.slot_seconds for run in runs for summary in run}
     if len(seconds) != 1:
         return estimates  # mixed grids fail the merge itself
     grid = seconds.pop()
-    totals = [_cell_totals(run, grid) for run in runs]
-    anchor_index = max(range(len(runs)), key=lambda i: len(totals[i]))
-    anchor = totals[anchor_index]
-    for index, cells in enumerate(totals):
-        if index == anchor_index:
-            continue
-        aligned = _lag_correlation(anchor, cells, 0, min_overlap)
-        best_lag, best = 0, aligned
-        for lag in range(-max_lag_slots, max_lag_slots + 1):
-            if lag == 0:
-                continue
-            score = _lag_correlation(anchor, cells, lag, min_overlap)
-            if score is None:
-                continue
-            if best is None or score[0] > best[0]:
-                best_lag, best = lag, score
-        if best_lag == 0 or best is None:
-            continue
-        correlation, count = best
-        floor = 0.0 if aligned is None else max(aligned[0], 0.0)
-        if (correlation >= SKEW_MIN_CORRELATION
-                and correlation >= _significance_floor(count)
-                and correlation >= floor + SKEW_MARGIN):
-            # other[c + lag] matches anchor[c]: the run's totals sit
-            # `lag` cells later than the traffic, so its clock is ahead
-            estimates[index] = best_lag * grid
-    return estimates
+    totals = [cell_totals(run, grid) for run in runs]
+    return estimate_skew_from_totals(
+        totals, grid, max_lag_slots=max_lag_slots, min_overlap=min_overlap
+    )
 
 
-def _empty_slot(cell: int, first_cell: int,
-                seconds: float) -> SlotSummary:
-    """A merged slot for an interval no monitor covered."""
+def gap_summary(cell: int, first_cell: int, seconds: float) -> SlotSummary:
+    """A merged slot for an interval no monitor covered.
+
+    The silent-link slot a single monitor would have observed: no
+    entries, no bytes, numbered on the shared grid like its covered
+    neighbours.
+    """
     return SlotSummary(
         slot=cell - first_cell,
         start=cell * seconds,
@@ -228,10 +290,12 @@ def _empty_slot(cell: int, first_cell: int,
     )
 
 
-def merge_runs(runs: Sequence[Sequence[SlotSummary]],
-               k: int | None = None,
-               fill_gaps: bool = False,
-               check_skew: bool = True) -> MergedRun:
+def merge_runs(
+    runs: Sequence[Sequence[SlotSummary]],
+    k: int | None = None,
+    fill_gaps: bool = False,
+    check_skew: bool = True,
+) -> MergedRun:
     """Align and merge whole monitor runs, slot by slot.
 
     Alignment is by *absolute* position on the slot grid (the slot's
@@ -267,43 +331,56 @@ def merge_runs(runs: Sequence[Sequence[SlotSummary]],
             "re-slot before merging"
         )
     seconds = flat[0].slot_seconds
-    skew = (estimate_clock_skew(runs) if check_skew
-            else {index: 0.0 for index in range(len(runs))})
+    skew = (
+        estimate_clock_skew(runs)
+        if check_skew
+        else {index: 0.0 for index in range(len(runs))}
+    )
     for index, offset in skew.items():
         if offset:
             monitor = next(
                 (s.monitor for s in runs[index] if s.monitor), ""
             )
             label = f" ({monitor})" if monitor else ""
-            warnings.warn(ClockSkewWarning(
-                f"monitor run {index}{label} slot totals align "
-                f"{offset:+g}s away from their timestamps; its clock "
-                "appears skewed beyond a slot boundary and its "
-                "traffic may be mis-binned"
-            ), stacklevel=2)
+            warnings.warn(
+                ClockSkewWarning(
+                    f"monitor run {index}{label} slot totals align "
+                    f"{offset:+g}s away from their timestamps; its "
+                    "clock appears skewed beyond a slot boundary and "
+                    "its traffic may be mis-binned"
+                ),
+                stacklevel=2,
+            )
     by_cell: dict[int, list[SlotSummary]] = {}
     for summary in flat:
-        # starts are grid-aligned by construction; round() guards the
-        # float division, it does not re-bin off-grid starts (those
-        # fail the exact start check inside merge_summaries)
-        cell = int(round(summary.start / seconds))
+        cell = grid_cell(summary.start, seconds)
         by_cell.setdefault(cell, []).append(summary)
     first_cell = min(by_cell)
     merged = []
-    cells = (range(first_cell, max(by_cell) + 1) if fill_gaps
-             else sorted(by_cell))
+    cells = (
+        range(first_cell, max(by_cell) + 1)
+        if fill_gaps
+        else sorted(by_cell)
+    )
     for cell in cells:
         if cell in by_cell:
-            merged.append(merge_summaries(by_cell[cell], k=k,
-                                          slot=cell - first_cell))
+            merged.append(
+                merge_summaries(
+                    by_cell[cell], k=k, slot=cell - first_cell
+                )
+            )
         else:
-            merged.append(_empty_slot(cell, first_cell, seconds))
+            merged.append(gap_summary(cell, first_cell, seconds))
     return MergedRun(merged, skew_estimate=skew)
 
 
 __all__ = [
     "MergedRun",
+    "cell_totals",
     "estimate_clock_skew",
+    "estimate_skew_from_totals",
+    "gap_summary",
+    "grid_cell",
     "merge_runs",
     "merge_summaries",
 ]

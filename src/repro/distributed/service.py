@@ -1,0 +1,870 @@
+"""The live collector service: monitors stream in, queries read out.
+
+:class:`CollectorService` is the network face of the collector. An
+asyncio TCP listener accepts any number of monitor connections; each
+monitor says hello (name + link), then streams
+:class:`~repro.distributed.summary.SlotSummary` records inside the
+length-prefixed frames of :mod:`repro.distributed.framing`. The
+service merges summaries *incrementally* — a grid cell is sealed the
+moment every connected monitor has reported past it — and pushes each
+sealed slot through the same
+:class:`~repro.distributed.collector.MergedSlotSource` /
+:class:`~repro.pipeline.engine.StreamingPipeline` pair the offline
+``repro merge`` path uses, so a query against the live service answers
+exactly what an offline merge of the same summaries would.
+
+Sealing semantics (the crash/reconnect story):
+
+- Each monitor has a *watermark*, the highest cell it has reported.
+  The *frontier* is the lowest watermark among connected monitors;
+  cells at or below it cannot change any more and are sealed in order.
+- A connected monitor that has sent nothing holds the frontier back —
+  better to wait than to merge a slot its data is still in flight for.
+- When a monitor drops (cleanly via BYE or by crashing), it stops
+  gating the frontier; its unreported intervals merge without it, and
+  with ``fill_gaps`` wholly uncovered cells seal as empty gap slots —
+  byte-for-byte what ``merge_runs(fill_gaps=True)`` would emit.
+- A reconnecting monitor resumes *above* the sealed frontier: the
+  hello reply carries ``resume_cell``, anything below it is answered
+  with a ``stale`` ack and dropped, so sealed history never mutates.
+
+Backpressure is credit-based and end-to-end: the service merges one
+summary at a time per connection and acks only after the merge, while
+:class:`MonitorClient` keeps at most ``max_inflight`` unacked
+summaries on the wire — a slow collector therefore stalls its
+monitors instead of buffering unboundedly.
+
+Everything here is importable without a running event loop:
+:class:`ServiceHandle` runs the service on a background thread (the
+test harness), and :class:`MonitorClient` / :func:`query_service` are
+plain blocking sockets so the CLI and forked workers need no asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.engine import EngineConfig, Feature, Scheme
+from repro.distributed.collector import MergedSlotSource, elephant_entries
+from repro.distributed.framing import (
+    KIND_ACK,
+    KIND_BYE,
+    KIND_ERROR,
+    KIND_HELLO,
+    KIND_QUERY,
+    KIND_REPLY,
+    KIND_SUMMARY,
+    FrameDecoder,
+    decode_json,
+    decode_summary,
+    encode_frame,
+    encode_json_frame,
+    encode_summary,
+)
+from repro.distributed.merge import (
+    estimate_skew_from_totals,
+    gap_summary,
+    grid_cell,
+    merge_summaries,
+)
+from repro.distributed.summary import SlotSummary
+from repro.errors import (
+    AddressError,
+    ClassificationError,
+    ReproError,
+    ServiceProtocolError,
+)
+from repro.pipeline.engine import StreamingPipeline
+
+#: Link monitors land on when their hello names none.
+DEFAULT_LINK = "link0"
+#: Unacked summaries a monitor may keep on the wire.
+DEFAULT_MAX_INFLIGHT = 32
+#: One socket read's worth of stream.
+_CHUNK_BYTES = 1 << 16
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) → a connectable address pair."""
+    host, _, port_text = text.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise AddressError(
+            f"{text!r} is not a HOST:PORT address"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise AddressError(f"port {port} is out of range")
+    return host, port
+
+
+class LiveLink:
+    """Incremental merged state for one link.
+
+    Holds the pending (unsealed) cells, per-monitor watermarks, and
+    the classifying pipeline; :meth:`add_summary` and :meth:`detach`
+    drive :meth:`_advance`, which seals every cell at or below the
+    frontier through the identical primitives the offline merge uses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        k: int | None = None,
+        fill_gaps: bool = True,
+        scheme: Scheme = Scheme.CONSTANT_LOAD,
+        feature: Feature = Feature.LATENT_HEAT,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.name = name
+        self.k = k
+        self.fill_gaps = fill_gaps
+        self.scheme = scheme
+        self.feature = feature
+        self.config = config
+        self.slot_seconds: float | None = None
+        self.first_cell: int | None = None
+        #: The lowest cell not yet sealed; everything below is history.
+        self.next_cell: int | None = None
+        self._pending: dict[int, list[SlotSummary]] = {}
+        self._watermark: dict[str, int] = {}
+        self._active: set[str] = set()
+        #: Monitor names in first-hello order — the run order the
+        #: offline skew estimator would have seen.
+        self._order: list[str] = []
+        self._totals: dict[str, dict[int, float]] = {}
+        self._source: MergedSlotSource | None = None
+        self._pipeline: StreamingPipeline | None = None
+        self._slot_entries: list[list[dict[str, object]]] = []
+        self._bytes_total = 0.0
+        self._residual_total = 0.0
+
+    @property
+    def slots_sealed(self) -> int:
+        """Merged slots sealed and classified so far."""
+        return len(self._slot_entries)
+
+    def attach(self, monitor: str) -> int | None:
+        """Register a (re)connecting monitor; returns its resume cell.
+
+        A second live connection claiming an attached name is a
+        protocol error — the first holder is still gating the
+        frontier. A *re*attach (after a crash or clean BYE) backfills
+        the monitor's watermark to just below the sealed frontier so a
+        returning monitor never stalls cells that are already history.
+        """
+        if monitor in self._active:
+            raise ServiceProtocolError(
+                f"monitor {monitor!r} is already attached to link "
+                f"{self.name!r}"
+            )
+        self._active.add(monitor)
+        if monitor not in self._order:
+            self._order.append(monitor)
+            self._totals[monitor] = {}
+        if self.next_cell is not None:
+            floor = self.next_cell - 1
+            current = self._watermark.get(monitor, floor)
+            self._watermark[monitor] = max(current, floor)
+        return self.next_cell
+
+    def detach(self, monitor: str) -> None:
+        """Drop a monitor from frontier gating and re-advance.
+
+        With no monitors left, everything pending seals — the run is
+        over as far as this link can tell.
+        """
+        self._active.discard(monitor)
+        self._advance()
+
+    def add_summary(
+        self, monitor: str, summary: SlotSummary
+    ) -> tuple[int, str]:
+        """Accept (or reject as stale) one summary from a monitor.
+
+        Returns ``(cell, status)`` for the ack: ``"ok"`` when the
+        summary joined the pending merge, ``"stale"`` when it landed
+        at or below sealed history (or re-sent a cell this monitor
+        already covered) and was dropped without touching state.
+        """
+        if self.slot_seconds is None:
+            self.slot_seconds = summary.slot_seconds
+        elif summary.slot_seconds != self.slot_seconds:
+            raise ClassificationError(
+                f"monitor {monitor!r} streams a {summary.slot_seconds}s "
+                f"grid into link {self.name!r} running "
+                f"{self.slot_seconds}s slots"
+            )
+        cell = grid_cell(summary.start, self.slot_seconds)
+        watermark = self._watermark.get(monitor)
+        if (self.next_cell is not None and cell < self.next_cell) or (
+            watermark is not None and cell <= watermark
+        ):
+            return cell, "stale"
+        self._pending.setdefault(cell, []).append(summary)
+        self._watermark[monitor] = cell
+        totals = self._totals.setdefault(monitor, {})
+        totals[cell] = totals.get(cell, 0.0) + summary.total_bytes
+        self._advance()
+        return cell, "ok"
+
+    def _frontier(self) -> int | None:
+        """The highest cell guaranteed complete, or None to hold."""
+        if self._active:
+            watermarks = [
+                self._watermark.get(monitor) for monitor in self._active
+            ]
+            if any(mark is None for mark in watermarks):
+                return None
+            return min(watermarks)
+        if self._pending:
+            return max(self._pending)
+        return None
+
+    def _advance(self) -> None:
+        frontier = self._frontier()
+        if frontier is None:
+            return
+        if self.next_cell is None:
+            if not self._pending:
+                return
+            self.first_cell = min(self._pending)
+            self.next_cell = self.first_cell
+        while self.next_cell <= frontier:
+            cell = self.next_cell
+            self.next_cell += 1
+            if cell in self._pending:
+                merged = merge_summaries(
+                    self._pending.pop(cell),
+                    k=self.k,
+                    slot=cell - self.first_cell,
+                )
+            elif self.fill_gaps:
+                merged = gap_summary(
+                    cell, self.first_cell, self.slot_seconds
+                )
+            else:
+                continue
+            self._seal(merged)
+
+    def _seal(self, merged: SlotSummary) -> None:
+        if self._pipeline is None:
+            self._source = MergedSlotSource(
+                [], slot_seconds=self.slot_seconds
+            )
+            self._pipeline = StreamingPipeline(
+                self._source,
+                scheme=self.scheme,
+                feature=self.feature,
+                config=self.config,
+            )
+        event = self._pipeline.observe(self._source.frame_of(merged))
+        self._slot_entries.append(
+            elephant_entries(event.frame, event.verdict)
+        )
+        self._bytes_total += merged.total_bytes
+        self._residual_total += merged.residual_bytes
+
+    def skew_estimate(self) -> dict[str, float]:
+        """Per-monitor clock-skew estimate over accepted summaries."""
+        if self.slot_seconds is None:
+            return {monitor: 0.0 for monitor in self._order}
+        totals = [self._totals[monitor] for monitor in self._order]
+        estimates = estimate_skew_from_totals(totals, self.slot_seconds)
+        return {
+            monitor: estimates[index]
+            for index, monitor in enumerate(self._order)
+        }
+
+    def report(self) -> dict[str, object]:
+        """The query-visible state of this link."""
+        return {
+            "link": self.name,
+            "slot_seconds": self.slot_seconds,
+            "slots": self.slots_sealed,
+            "next_cell": self.next_cell,
+            "pending_cells": sorted(self._pending),
+            "elephants": (
+                self._slot_entries[-1] if self._slot_entries else []
+            ),
+            "elephants_by_slot": self._slot_entries,
+            "residual_fraction": (
+                self._residual_total / self._bytes_total
+                if self._bytes_total
+                else 0.0
+            ),
+            "skew_estimate": self.skew_estimate(),
+        }
+
+
+@dataclass
+class MonitorStatus:
+    """Liveness and accounting for one monitor name on one link."""
+
+    connected: bool = False
+    connections: int = 0
+    slots_received: int = 0
+    stale_slots: int = 0
+    last_cell: int | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "connected": self.connected,
+            "connections": self.connections,
+            "slots_received": self.slots_received,
+            "stale_slots": self.stale_slots,
+            "last_cell": self.last_cell,
+        }
+
+
+class LiveCollector:
+    """Routes monitors to :class:`LiveLink` state and answers queries.
+
+    Transport-free (and therefore directly unit-testable): the network
+    service calls :meth:`attach` / :meth:`add_summary` / :meth:`detach`
+    as frames arrive and :meth:`query` for reads.
+    """
+
+    def __init__(
+        self,
+        k: int | None = None,
+        fill_gaps: bool = True,
+        scheme: Scheme = Scheme.CONSTANT_LOAD,
+        feature: Feature = Feature.LATENT_HEAT,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.k = k
+        self.fill_gaps = fill_gaps
+        self.scheme = scheme
+        self.feature = feature
+        self.config = config
+        self.links: dict[str, LiveLink] = {}
+        self.monitors: dict[tuple[str, str], MonitorStatus] = {}
+        #: Clean (BYE-terminated) monitor runs completed so far.
+        self.runs_completed = 0
+
+    def link(self, name: str) -> LiveLink:
+        """The link's live state, created on first reference."""
+        if name not in self.links:
+            self.links[name] = LiveLink(
+                name,
+                k=self.k,
+                fill_gaps=self.fill_gaps,
+                scheme=self.scheme,
+                feature=self.feature,
+                config=self.config,
+            )
+        return self.links[name]
+
+    def attach(self, monitor: str, link: str) -> int | None:
+        resume = self.link(link).attach(monitor)
+        status = self.monitors.setdefault((link, monitor), MonitorStatus())
+        status.connected = True
+        status.connections += 1
+        return resume
+
+    def detach(self, monitor: str, link: str, clean: bool) -> None:
+        status = self.monitors.get((link, monitor))
+        if status is not None:
+            status.connected = False
+        if link in self.links:
+            self.links[link].detach(monitor)
+        if clean:
+            self.runs_completed += 1
+
+    def add_summary(
+        self, monitor: str, link: str, summary: SlotSummary
+    ) -> tuple[int, str]:
+        cell, outcome = self.links[link].add_summary(monitor, summary)
+        status = self.monitors[(link, monitor)]
+        if outcome == "ok":
+            status.slots_received += 1
+            status.last_cell = cell
+        else:
+            status.stale_slots += 1
+        return cell, outcome
+
+    def any_connected(self) -> bool:
+        """Is any monitor currently attached, on any link?"""
+        return any(status.connected for status in self.monitors.values())
+
+    def query(self, link: str | None = None) -> dict[str, object]:
+        """The report for ``link`` (or the only link, when unnamed)."""
+        names = sorted(self.links)
+        if link is None:
+            if len(names) == 1:
+                link = names[0]
+            elif not names:
+                raise ServiceProtocolError(
+                    "the collector has no links yet"
+                )
+            else:
+                raise ServiceProtocolError(
+                    f"multiple links live ({', '.join(names)}); "
+                    "name one in the query"
+                )
+        if link not in self.links:
+            raise ServiceProtocolError(
+                f"unknown link {link!r}; live links: "
+                f"{', '.join(names) or 'none'}"
+            )
+        report = self.links[link].report()
+        report["monitors"] = {
+            monitor: status.as_dict()
+            for (owner, monitor), status in sorted(self.monitors.items())
+            if owner == link
+        }
+        report["links"] = names
+        return report
+
+
+class CollectorService:
+    """The asyncio TCP server around a :class:`LiveCollector`.
+
+    One handler per connection; the first frame picks the role (hello
+    → monitor, query → reader). Protocol violations and corrupt frames
+    earn the peer an error frame and a closed connection — the server
+    itself keeps serving everyone else. ``once`` ends the service after
+    that many clean monitor runs have completed with no monitor still
+    attached (the CI smoke-test contract).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        k: int | None = None,
+        fill_gaps: bool = True,
+        scheme: Scheme = Scheme.CONSTANT_LOAD,
+        feature: Feature = Feature.LATENT_HEAT,
+        config: EngineConfig | None = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        once: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_inflight = max(1, max_inflight)
+        self.once = once
+        self.collector = LiveCollector(
+            k=k,
+            fill_gaps=fill_gaps,
+            scheme=scheme,
+            feature=feature,
+            config=config,
+        )
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._done = asyncio.Event()
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def wait_done(self) -> None:
+        """Block until the ``once`` condition is met (forever if unset)."""
+        await self._done.wait()
+
+    async def stop(self) -> None:
+        """Stop accepting and tear down every live connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._writers.clear()
+
+    def _maybe_done(self) -> None:
+        if (
+            self.once is not None
+            and self.collector.runs_completed >= self.once
+            and not self.collector.any_connected()
+        ):
+            self._done.set()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        decoder = FrameDecoder()
+        monitor: str | None = None
+        link: str | None = None
+        attached = False
+        finished = False
+        try:
+            while not finished:
+                data = await reader.read(_CHUNK_BYTES)
+                if not data:
+                    break
+                for kind, payload in decoder.feed(data):
+                    if kind == KIND_HELLO:
+                        if monitor is not None:
+                            raise ServiceProtocolError(
+                                "duplicate hello on one connection"
+                            )
+                        message = decode_json(payload)
+                        name = str(message.get("monitor") or "")
+                        if not name:
+                            raise ServiceProtocolError(
+                                "hello without a monitor name"
+                            )
+                        link = str(message.get("link") or DEFAULT_LINK)
+                        resume = self.collector.attach(name, link)
+                        monitor, attached = name, True
+                        writer.write(
+                            encode_json_frame(
+                                KIND_REPLY,
+                                {
+                                    "status": "ok",
+                                    "resume_cell": resume,
+                                    "max_inflight": self.max_inflight,
+                                },
+                            )
+                        )
+                        await writer.drain()
+                    elif kind == KIND_SUMMARY:
+                        if not attached:
+                            raise ServiceProtocolError(
+                                "summary frame before hello"
+                            )
+                        summary = decode_summary(payload)
+                        cell, outcome = self.collector.add_summary(
+                            monitor, link, summary
+                        )
+                        writer.write(
+                            encode_json_frame(
+                                KIND_ACK,
+                                {"cell": cell, "status": outcome},
+                            )
+                        )
+                        await writer.drain()
+                    elif kind == KIND_QUERY:
+                        message = decode_json(payload)
+                        requested = message.get("link")
+                        report = self.collector.query(
+                            str(requested) if requested else None
+                        )
+                        writer.write(
+                            encode_json_frame(
+                                KIND_REPLY, {"status": "ok", **report}
+                            )
+                        )
+                        await writer.drain()
+                    elif kind == KIND_BYE:
+                        if attached:
+                            self.collector.detach(
+                                monitor, link, clean=True
+                            )
+                            attached = False
+                            self._maybe_done()
+                        finished = True
+                        break
+                    else:
+                        raise ServiceProtocolError(
+                            f"unexpected {kind!r} frame from peer"
+                        )
+        except ReproError as exc:
+            with contextlib.suppress(Exception):
+                writer.write(
+                    encode_json_frame(KIND_ERROR, {"error": str(exc)})
+                )
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if attached:
+                # EOF or error without BYE: the monitor crashed. It
+                # stops gating the frontier; its name may reconnect.
+                self.collector.detach(monitor, link, clean=False)
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+
+class ServiceHandle:
+    """A :class:`CollectorService` on a background thread.
+
+    The in-process harness the loopback tests drive: ``start`` returns
+    once the socket is bound (address in :attr:`address`), ``stop``
+    shuts the loop down and joins the thread. Also usable as a context
+    manager.
+    """
+
+    def __init__(self, service: CollectorService) -> None:
+        self.service = service
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.service.address is None:
+            raise RuntimeError("service has not started")
+        return self.service.address
+
+    def __enter__(self) -> "ServiceHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 10.0) -> "ServiceHandle":
+        self._thread = threading.Thread(
+            target=self._run, name="collector-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("collector service did not start in time")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface in start()/stop()
+            self._error = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.service.start()
+        self._started.set()
+        stop_task = asyncio.create_task(self._stop.wait())
+        done_task = asyncio.create_task(self.service.wait_done())
+        try:
+            await asyncio.wait(
+                {stop_task, done_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            stop_task.cancel()
+            done_task.cancel()
+            await self.service.stop()
+
+    def stop(self) -> None:
+        if (
+            self._loop is not None
+            and self._stop is not None
+            and self._thread is not None
+            and self._thread.is_alive()
+        ):
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        if self._error is not None:
+            raise self._error
+
+
+class _BlockingFrames:
+    """Frame-at-a-time reads over a blocking socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._frames: deque[tuple[bytes, bytes]] = deque()
+
+    def next_frame(self) -> tuple[bytes, bytes]:
+        while not self._frames:
+            data = self._sock.recv(_CHUNK_BYTES)
+            if not data:
+                raise ServiceProtocolError(
+                    "the collector closed the connection"
+                )
+            self._frames.extend(self._decoder.feed(data))
+        return self._frames.popleft()
+
+    def expect(self, kind: bytes) -> dict:
+        got, payload = self.next_frame()
+        if got == KIND_ERROR:
+            message = decode_json(payload)
+            raise ServiceProtocolError(
+                str(message.get("error") or "collector reported an error")
+            )
+        if got != kind:
+            raise ServiceProtocolError(
+                f"expected a {kind!r} frame, got {got!r}"
+            )
+        return decode_json(payload)
+
+
+class MonitorClient:
+    """A monitor's blocking-socket connection to the collector.
+
+    Connects, says hello, then :meth:`publish` streams summaries under
+    the credit window the collector granted: at most ``max_inflight``
+    summaries ride unacked, so a stalled collector exerts backpressure
+    here rather than filling kernel buffers. :meth:`close` drains the
+    outstanding acks, sends BYE, and waits for the collector to hang
+    up — after it returns, the collector has fully absorbed the run.
+    :meth:`abort` slams the socket shut, which is how the tests
+    simulate a monitor crash.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        monitor: str,
+        link: str = DEFAULT_LINK,
+        timeout: float = 10.0,
+        max_inflight: int | None = None,
+    ) -> None:
+        self.monitor = monitor
+        self.link = link
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._frames = _BlockingFrames(self._sock)
+        self._sock.sendall(
+            encode_json_frame(
+                KIND_HELLO, {"monitor": monitor, "link": link}
+            )
+        )
+        reply = self._frames.expect(KIND_REPLY)
+        resume = reply.get("resume_cell")
+        #: First cell the collector will accept; lower cells are sealed
+        #: history and are skipped client-side without a round trip.
+        self.resume_cell = int(resume) if resume is not None else None
+        granted = int(reply.get("max_inflight") or DEFAULT_MAX_INFLIGHT)
+        self.max_inflight = max(
+            1,
+            min(granted, max_inflight) if max_inflight else granted,
+        )
+        self.inflight = 0
+        self.published = 0
+        self.stale = 0
+        self.skipped = 0
+
+    def __enter__(self) -> "MonitorClient":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+    def publish(self, summary: SlotSummary) -> bool:
+        """Send one summary (False if skipped as pre-resume history)."""
+        cell = grid_cell(summary.start, summary.slot_seconds)
+        if self.resume_cell is not None and cell < self.resume_cell:
+            self.skipped += 1
+            return False
+        while self.inflight >= self.max_inflight:
+            self._read_ack()
+        self._sock.sendall(encode_summary(summary))
+        self.inflight += 1
+        return True
+
+    def drain(self) -> None:
+        """Wait out every outstanding ack."""
+        while self.inflight:
+            self._read_ack()
+
+    def _read_ack(self) -> None:
+        message = self._frames.expect(KIND_ACK)
+        self.inflight -= 1
+        if message.get("status") == "stale":
+            self.stale += 1
+        else:
+            self.published += 1
+
+    def query(self, link: str | None = None) -> dict:
+        """Query over this same connection (acks must be drained)."""
+        self.drain()
+        self._sock.sendall(
+            encode_json_frame(KIND_QUERY, {"link": link or self.link})
+        )
+        return self._frames.expect(KIND_REPLY)
+
+    def close(self) -> None:
+        """Clean end-of-run: drain, BYE, wait for the collector's EOF."""
+        try:
+            self.drain()
+            self._sock.sendall(encode_frame(KIND_BYE))
+            while True:
+                if not self._sock.recv(_CHUNK_BYTES):
+                    break
+        finally:
+            self._sock.close()
+
+    def abort(self) -> None:
+        """Crash: drop the connection with no BYE and no draining."""
+        self._sock.close()
+
+
+def publish_summaries(
+    address: tuple[str, int],
+    summaries: list[SlotSummary] | tuple[SlotSummary, ...],
+    monitor: str,
+    link: str = DEFAULT_LINK,
+    timeout: float = 10.0,
+    max_inflight: int | None = None,
+) -> dict[str, int]:
+    """Stream one monitor run into a live collector and disconnect.
+
+    Returns the delivery accounting: summaries ``published`` (accepted),
+    ``stale`` (rejected as sealed history), and ``skipped`` (dropped
+    client-side below the resume cell).
+    """
+    client = MonitorClient(
+        address,
+        monitor,
+        link=link,
+        timeout=timeout,
+        max_inflight=max_inflight,
+    )
+    with client:
+        for summary in summaries:
+            client.publish(summary)
+        client.drain()
+    return {
+        "published": client.published,
+        "stale": client.stale,
+        "skipped": client.skipped,
+    }
+
+
+def query_service(
+    address: tuple[str, int],
+    link: str | None = None,
+    timeout: float = 10.0,
+) -> dict:
+    """One-shot query against a live collector service."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        frames = _BlockingFrames(sock)
+        sock.sendall(encode_json_frame(KIND_QUERY, {"link": link}))
+        reply = frames.expect(KIND_REPLY)
+        sock.sendall(encode_frame(KIND_BYE))
+    return reply
+
+
+__all__ = [
+    "DEFAULT_LINK",
+    "DEFAULT_MAX_INFLIGHT",
+    "CollectorService",
+    "LiveCollector",
+    "LiveLink",
+    "MonitorClient",
+    "MonitorStatus",
+    "ServiceHandle",
+    "parse_address",
+    "publish_summaries",
+    "query_service",
+]

@@ -52,6 +52,17 @@ class SummaryFormatError(ReproError):
     """A serialized slot summary is malformed or version-incompatible."""
 
 
+class ServiceProtocolError(ReproError):
+    """A collector-service peer violated the wire protocol.
+
+    Raised for semantic violations on a structurally valid stream — a
+    summary before the hello, a second connection claiming a monitor
+    name that is still attached, a query for a link the collector has
+    never heard of. Byte-level corruption is
+    :class:`SummaryFormatError` instead.
+    """
+
+
 class ClockSkewWarning(UserWarning):
     """Monitor clocks appear skewed beyond a slot boundary.
 

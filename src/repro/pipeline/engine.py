@@ -46,8 +46,10 @@ class StreamEvent:
     @property
     def elephant_prefixes(self) -> list[Prefix]:
         """The prefixes classified as elephants in this slot."""
-        return [self.frame.population[i]
-                for i in self.verdict.elephants().tolist()]
+        return [
+            self.frame.population[i]
+            for i in self.verdict.elephants().tolist()
+        ]
 
 
 class StreamingPipeline:
@@ -67,11 +69,14 @@ class StreamingPipeline:
     bound applies before any per-flow state exists.
     """
 
-    def __init__(self, source: SlotSource,
-                 scheme: Scheme = Scheme.CONSTANT_LOAD,
-                 feature: Feature = Feature.LATENT_HEAT,
-                 config: EngineConfig | None = None,
-                 backend: AggregationBackend | None = None) -> None:
+    def __init__(
+        self,
+        source: SlotSource,
+        scheme: Scheme = Scheme.CONSTANT_LOAD,
+        feature: Feature = Feature.LATENT_HEAT,
+        config: EngineConfig | None = None,
+        backend: AggregationBackend | None = None,
+    ) -> None:
         if backend is not None:
             source = SketchSlotSource(source, backend)
         self.source = source
@@ -85,21 +90,26 @@ class StreamingPipeline:
         detector = make_detector(scheme, beta=self.config.beta)
         self._label = f"{detector.name} {feature.value}"
         self._builder = ElephantSeriesBuilder(
-            label=self._label, slot_seconds=source.slot_seconds,
+            label=self._label,
+            slot_seconds=source.slot_seconds,
         )
 
     @classmethod
-    def parallel(cls, packets, resolver, workers: int,
-                 slot_seconds: float = 60.0,
-                 backend: str = "exact",
-                 capacity: int | None = None,
-                 seed: int = 0,
-                 start: float | None = None,
-                 k: int | None = None,
-                 scheme: Scheme = Scheme.CONSTANT_LOAD,
-                 feature: Feature = Feature.LATENT_HEAT,
-                 config: EngineConfig | None = None,
-                 ) -> "StreamingPipeline":
+    def parallel(
+        cls,
+        packets,
+        resolver,
+        workers: int,
+        slot_seconds: float = 60.0,
+        backend: str = "exact",
+        capacity: int | None = None,
+        seed: int = 0,
+        start: float | None = None,
+        k: int | None = None,
+        scheme: Scheme = Scheme.CONSTANT_LOAD,
+        feature: Feature = Feature.LATENT_HEAT,
+        config: EngineConfig | None = None,
+    ) -> "StreamingPipeline":
         """A pipeline fed by multi-process ingestion.
 
         Runs the capture through
@@ -120,14 +130,22 @@ class StreamingPipeline:
         from repro.distributed.runner import parallel_ingest
 
         ingest = parallel_ingest(
-            packets, resolver, workers=workers,
-            slot_seconds=slot_seconds, backend=backend,
-            capacity=capacity, seed=seed, start=start,
+            packets,
+            resolver,
+            workers=workers,
+            slot_seconds=slot_seconds,
+            backend=backend,
+            capacity=capacity,
+            seed=seed,
+            start=start,
         )
-        collector = ingest.collector(k=k, scheme=scheme,
-                                     feature=feature, config=config)
-        pipeline = cls(collector.source(), scheme=scheme,
-                       feature=feature, config=config)
+        collector = ingest.collector(
+            k=k, scheme=scheme, feature=feature, config=config
+        )
+        pipeline = cls(
+            collector.source(), scheme=scheme, feature=feature,
+            config=config,
+        )
         pipeline.ingest_stats = ingest.stats
         return pipeline
 
@@ -139,9 +157,19 @@ class StreamingPipeline:
     def events(self) -> Iterator[StreamEvent]:
         """Classify every slot the source produces, in order."""
         for frame in self.source.slots():
-            yield self._observe(frame)
+            yield self.observe(frame)
 
-    def _observe(self, frame: SlotFrame) -> StreamEvent:
+    def observe(self, frame: SlotFrame) -> StreamEvent:
+        """Classify one frame (push mode).
+
+        The pull path (:meth:`events`) drains ``source.slots()``; push
+        mode is for callers that *produce* frames as external events
+        happen — the live collector service seals a merged slot when
+        every monitor has reported past it, then pushes it here.
+        Frames must arrive in slot order, with populations that only
+        ever grow; mixing :meth:`observe` and :meth:`events` on one
+        pipeline double-classifies slots.
+        """
         if self.classifier is None:
             self.classifier = OnlineClassifier(
                 make_detector(self.scheme, beta=self.config.beta),
@@ -155,18 +183,27 @@ class StreamingPipeline:
         rates = frame.rates
         if rates.size < self.classifier.num_flows:
             padded = np.zeros(self.classifier.num_flows)
-            padded[:rates.size] = rates
+            padded[: rates.size] = rates
             rates = padded
-        exclude = (np.array([frame.residual_row], dtype=np.int64)
-                   if frame.residual_row is not None else None)
+        exclude = (
+            np.array([frame.residual_row], dtype=np.int64)
+            if frame.residual_row is not None
+            else None
+        )
         verdict = self.classifier.observe_slot(rates, exclude_rows=exclude)
-        self._builder.add_slot(rates, verdict.elephant_mask,
-                               residual_row=frame.residual_row)
+        self._builder.add_slot(
+            rates, verdict.elephant_mask, residual_row=frame.residual_row
+        )
         return StreamEvent(frame, verdict)
 
     def series(self) -> ElephantSeries:
         """The incremental Fig. 1(a)/(b) series over the slots seen."""
         return self._builder.build()
+
+    @property
+    def slots_seen(self) -> int:
+        """Slots classified so far (push or pull)."""
+        return self._builder.slots_seen
 
 
 @dataclass
@@ -212,23 +249,30 @@ class StreamCollector:
         if not prefixes:
             raise ClassificationError("stream discovered no flows")
         num_flows = len(prefixes)
-        axis = TimeAxis(float(self._first_start), slot_seconds,
-                        self.num_slots)
+        axis = TimeAxis(
+            float(self._first_start), slot_seconds, self.num_slots
+        )
         rates = np.zeros((num_flows, self.num_slots))
         for slot, column in enumerate(self._rates):
-            rates[:column.size, slot] = column
+            rates[: column.size, slot] = column
         return RateMatrix(prefixes, axis, rates)
 
-    def result(self, slot_seconds: float, classifier_name: str,
-               scheme: str, alpha: float) -> ClassificationResult:
+    def result(
+        self,
+        slot_seconds: float,
+        classifier_name: str,
+        scheme: str,
+        alpha: float,
+    ) -> ClassificationResult:
         """Reassemble the batch-identical classification result."""
         matrix = self.matrix(slot_seconds)
         mask = np.zeros((matrix.num_flows, self.num_slots), dtype=bool)
         for slot, column in enumerate(self._masks):
-            mask[:column.size, slot] = column
+            mask[: column.size, slot] = column
         thresholds = ThresholdSeries.from_slots(
             [v.thresholds for v in self._verdicts],
-            scheme=scheme, alpha=alpha,
+            scheme=scheme,
+            alpha=alpha,
         )
         return ClassificationResult(
             matrix=matrix,
@@ -238,12 +282,13 @@ class StreamCollector:
         )
 
 
-def run_stream(source: SlotSource,
-               scheme: Scheme = Scheme.CONSTANT_LOAD,
-               feature: Feature = Feature.LATENT_HEAT,
-               config: EngineConfig | None = None,
-               backend: AggregationBackend | None = None,
-               ) -> tuple[ClassificationResult, ElephantSeries]:
+def run_stream(
+    source: SlotSource,
+    scheme: Scheme = Scheme.CONSTANT_LOAD,
+    feature: Feature = Feature.LATENT_HEAT,
+    config: EngineConfig | None = None,
+    backend: AggregationBackend | None = None,
+) -> tuple[ClassificationResult, ElephantSeries]:
     """Run a slot source end to end and collect the batch-shaped result.
 
     The convenience entry point for "stream it, then analyse it": with
@@ -253,8 +298,10 @@ def run_stream(source: SlotSource,
     row.
     """
     config = config or EngineConfig()
-    pipeline = StreamingPipeline(source, scheme=scheme, feature=feature,
-                                 config=config, backend=backend)
+    pipeline = StreamingPipeline(
+        source, scheme=scheme, feature=feature, config=config,
+        backend=backend,
+    )
     collector = StreamCollector().collect(pipeline.events())
     detector = make_detector(scheme, beta=config.beta)
     result = collector.result(
@@ -266,12 +313,13 @@ def run_stream(source: SlotSource,
     return result, pipeline.series()
 
 
-def classify_matrix_streaming(matrix: RateMatrix,
-                              scheme: Scheme = Scheme.CONSTANT_LOAD,
-                              feature: Feature = Feature.LATENT_HEAT,
-                              config: EngineConfig | None = None,
-                              backend: AggregationBackend | None = None,
-                              ) -> ClassificationResult:
+def classify_matrix_streaming(
+    matrix: RateMatrix,
+    scheme: Scheme = Scheme.CONSTANT_LOAD,
+    feature: Feature = Feature.LATENT_HEAT,
+    config: EngineConfig | None = None,
+    backend: AggregationBackend | None = None,
+) -> ClassificationResult:
     """Classify a rate matrix through the streaming path.
 
     Batch-as-a-wrapper: the matrix replays column by column through the
@@ -279,6 +327,11 @@ def classify_matrix_streaming(matrix: RateMatrix,
     the batch engine produces. A sketch ``backend`` bounds the tracked
     population, trading exactness for fixed memory.
     """
-    result, _ = run_stream(MatrixSlotSource(matrix), scheme=scheme,
-                           feature=feature, config=config, backend=backend)
+    result, _ = run_stream(
+        MatrixSlotSource(matrix),
+        scheme=scheme,
+        feature=feature,
+        config=config,
+        backend=backend,
+    )
     return result

@@ -1,0 +1,217 @@
+"""Property tests for the collector-service frame codec.
+
+The framing layer sits between untrusted TCP bytes and the merge
+engine, so the invariants here are load-bearing: any frame sequence
+must survive any chunking of the byte stream (round-trip identity),
+partial input must never raise (it is just not-yet-arrived data), and
+provably corrupt input must raise
+:class:`~repro.errors.SummaryFormatError` immediately rather than
+buffering garbage.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.framing import (
+    FRAME_KINDS,
+    KIND_ACK,
+    KIND_BYE,
+    KIND_HELLO,
+    KIND_QUERY,
+    KIND_SUMMARY,
+    MAX_PAYLOAD_BYTES,
+    FrameDecoder,
+    decode_summary,
+    encode_frame,
+    encode_summary,
+)
+from repro.distributed.summary import SlotSummary
+from repro.errors import SummaryFormatError
+from repro.net.prefix import Prefix
+
+
+@st.composite
+def slot_summaries(draw):
+    """Random well-formed slot summaries, empty tables included."""
+    count = draw(st.integers(min_value=0, max_value=12))
+    hosts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    lengths = draw(
+        st.lists(
+            st.integers(min_value=8, max_value=32),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    prefixes = []
+    for host, length in zip(hosts, lengths):
+        prefix = Prefix.from_host(host, length)
+        if prefix not in prefixes:
+            prefixes.append(prefix)
+    volumes = draw(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e12,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=len(prefixes),
+            max_size=len(prefixes),
+        )
+    )
+    slot = draw(st.integers(min_value=0, max_value=10_000))
+    seconds = draw(st.sampled_from([1.0, 10.0, 60.0, 300.0]))
+    residual = draw(st.floats(min_value=0.0, max_value=1e12))
+    monitor = draw(
+        st.text(
+            alphabet=st.characters(
+                codec="utf-8", blacklist_categories=("Cs",)
+            ),
+            max_size=20,
+        )
+    )
+    return SlotSummary(
+        slot=slot,
+        start=slot * seconds,
+        slot_seconds=seconds,
+        prefixes=tuple(prefixes),
+        volumes=np.array(volumes, dtype=np.float64),
+        residual_bytes=residual,
+        monitor=monitor,
+    )
+
+
+@st.composite
+def frames(draw):
+    """A random control or summary frame plus its expected decode."""
+    kind = draw(st.sampled_from(sorted(FRAME_KINDS)))
+    if kind == KIND_SUMMARY:
+        summary = draw(slot_summaries())
+        return encode_summary(summary), (kind, summary.to_bytes())
+    payload = draw(st.binary(max_size=200))
+    return encode_frame(kind, payload), (kind, payload)
+
+
+def chunked(blob, cuts):
+    """Split ``blob`` at the (sorted, deduplicated) cut offsets."""
+    points = sorted({min(cut, len(blob)) for cut in cuts})
+    pieces, last = [], 0
+    for point in points:
+        pieces.append(blob[last:point])
+        last = point
+    pieces.append(blob[last:])
+    return pieces
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    batch=st.lists(frames(), min_size=1, max_size=6),
+    cuts=st.lists(st.integers(min_value=0, max_value=10_000), max_size=12),
+)
+def test_roundtrip_under_arbitrary_chunking(batch, cuts):
+    """Any frame sequence decodes identically under any chunking."""
+    wire = b"".join(encoded for encoded, _ in batch)
+    expected = [frame for _, frame in batch]
+    decoder = FrameDecoder()
+    decoded = []
+    for piece in chunked(wire, cuts):
+        decoded.extend(decoder.feed(piece))
+    assert decoded == expected
+    assert decoder.pending_bytes == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(summary=slot_summaries())
+def test_summary_payload_roundtrips(summary):
+    """encode_summary → decoder → decode_summary is the identity."""
+    decoder = FrameDecoder()
+    ((kind, payload),) = decoder.feed(encode_summary(summary))
+    assert kind == KIND_SUMMARY
+    got = decode_summary(payload)
+    assert got.slot == summary.slot
+    assert got.start == summary.start
+    assert got.slot_seconds == summary.slot_seconds
+    assert got.prefixes == summary.prefixes
+    assert got.volumes.tolist() == summary.volumes.tolist()
+    assert got.residual_bytes == summary.residual_bytes
+    assert got.monitor == summary.monitor
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    encoded=frames().map(lambda pair: pair[0]),
+    keep=st.integers(min_value=0, max_value=10_000),
+)
+def test_truncated_frame_is_silent(encoded, keep):
+    """A prefix of a valid frame yields nothing and raises nothing."""
+    prefix = encoded[: min(keep, len(encoded) - 1)]
+    decoder = FrameDecoder()
+    assert decoder.feed(prefix) == []
+    assert decoder.pending_bytes == len(prefix)
+    # the rest of the frame completes it
+    ((kind, _),) = decoder.feed(encoded[len(prefix) :])
+    assert kind == encoded[:1]
+    assert decoder.pending_bytes == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(kind=st.binary(min_size=1, max_size=1), tail=st.binary(max_size=30))
+def test_unknown_kind_raises(kind, tail):
+    if kind in FRAME_KINDS:
+        return
+    decoder = FrameDecoder()
+    with pytest.raises(SummaryFormatError):
+        decoder.feed(struct.pack(">cI", kind, len(tail)) + tail)
+
+
+@settings(max_examples=20, deadline=None)
+@given(excess=st.integers(min_value=1, max_value=2**31))
+def test_oversized_length_raises(excess):
+    """A length field past the cap is rejected before any buffering."""
+    header = struct.pack(">cI", KIND_SUMMARY, MAX_PAYLOAD_BYTES + excess)
+    with pytest.raises(SummaryFormatError):
+        FrameDecoder().feed(header)
+
+
+def test_corrupt_summary_payload_raises_without_killing_decoder():
+    """A garbage summary payload fails decode; framing keeps going."""
+    decoder = FrameDecoder()
+    bad = encode_frame(KIND_SUMMARY, b"not a summary record")
+    good = encode_frame(KIND_BYE)
+    ((_, payload), (kind, _)) = decoder.feed(bad + good)
+    with pytest.raises(SummaryFormatError):
+        decode_summary(payload)
+    assert kind == KIND_BYE
+
+
+def test_oversized_payload_refused_at_encode():
+    with pytest.raises(SummaryFormatError):
+        encode_frame(KIND_ACK, b"\0" * (MAX_PAYLOAD_BYTES + 1))
+
+
+def test_unknown_kind_refused_at_encode():
+    with pytest.raises(SummaryFormatError):
+        encode_frame(b"Z", b"")
+
+
+def test_interleaved_control_frames_roundtrip():
+    """A realistic session transcript decodes frame-for-frame."""
+    wire = (
+        encode_frame(KIND_HELLO, b'{"monitor": "m", "link": "l"}')
+        + encode_frame(KIND_QUERY, b"{}")
+        + encode_frame(KIND_BYE)
+    )
+    decoder = FrameDecoder()
+    kinds = [kind for kind, _ in decoder.feed(wire)]
+    assert kinds == [KIND_HELLO, KIND_QUERY, KIND_BYE]

@@ -1,6 +1,9 @@
 """Tests for the command-line interface."""
 
 import json
+import socket
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -15,8 +18,9 @@ from repro.traffic.packetize import PacketizerConfig, write_pcap
 @pytest.fixture(scope="module")
 def matrix_file(tmp_path_factory):
     path = str(tmp_path_factory.mktemp("cli") / "west.npz")
-    code = main(["simulate", path, "--link", "west", "--scale", "0.05",
-                 "--seed", "5"])
+    code = main(
+        ["simulate", path, "--link", "west", "--scale", "0.05", "--seed", "5"]
+    )
     assert code == 0
     return path
 
@@ -29,8 +33,8 @@ class TestSimulate:
 
     def test_east_link(self, tmp_path, capsys):
         path = str(tmp_path / "east.npz")
-        assert main(["simulate", path, "--link", "east",
-                     "--scale", "0.05"]) == 0
+        code = main(["simulate", path, "--link", "east", "--scale", "0.05"])
+        assert code == 0
         out = capsys.readouterr().out
         assert "wrote" in out and "utilisation" in out
 
@@ -53,15 +57,29 @@ class TestClassify:
         assert "mean elephants/slot" in out
 
     def test_single_feature_and_parameters(self, matrix_file, capsys):
-        assert main(["classify", matrix_file, "--feature", "single",
-                     "--scheme", "constant-load", "--beta", "0.7",
-                     "--alpha", "0.8"]) == 0
+        code = main(
+            [
+                "classify",
+                matrix_file,
+                "--feature",
+                "single",
+                "--scheme",
+                "constant-load",
+                "--beta",
+                "0.7",
+                "--alpha",
+                "0.8",
+            ]
+        )
+        assert code == 0
         out = capsys.readouterr().out
         assert "0.7-constant-load single-feature" in out
 
     def test_aest_scheme(self, matrix_file, capsys):
-        assert main(["classify", matrix_file, "--scheme", "aest",
-                     "--window", "6"]) == 0
+        code = main(
+            ["classify", matrix_file, "--scheme", "aest", "--window", "6"]
+        )
+        assert code == 0
         out = capsys.readouterr().out
         assert "aest latent-heat" in out
 
@@ -93,23 +111,38 @@ def stream_capture(tmp_path_factory):
     with open(rib_path, "w") as stream:
         for prefix in prefixes:
             stream.write(f"{prefix}\n")
-    return {"pcap": pcap_path, "npz": npz_path, "csv": csv_path,
-            "rib": rib_path, "matrix": matrix}
+    return {
+        "pcap": pcap_path,
+        "npz": npz_path,
+        "csv": csv_path,
+        "rib": rib_path,
+        "matrix": matrix,
+    }
 
 
 class TestStream:
     def test_pcap_with_rib(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"],
-                     "--rib", stream_capture["rib"],
-                     "--slot-seconds", "60"]) == 0
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--rib",
+                stream_capture["rib"],
+                "--slot-seconds",
+                "60",
+            ]
+        )
+        assert code == 0
         out = capsys.readouterr().out
         assert "slot    0" in out
         assert "stream summary" in out
         assert "packets_matched" in out
 
     def test_pcap_fixed_length_granularity(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"], "--quiet",
-                     "--prefix-length", "16"]) == 0
+        code = main(
+            ["stream", stream_capture["pcap"], "--quiet", "--prefix-length", "16"]
+        )
+        assert code == 0
         out = capsys.readouterr().out
         assert "num_flows" in out
 
@@ -128,7 +161,7 @@ class TestStream:
         from_pcap = json.loads(capsys.readouterr().out)
         assert from_npz["num_slots"] == from_pcap["num_slots"]
         assert from_npz["mean_elephants_per_slot"] == pytest.approx(
-            from_pcap["mean_elephants_per_slot"], abs=0.5,
+            from_pcap["mean_elephants_per_slot"], abs=0.5
         )
 
     def test_csv_matrix_replay(self, stream_capture, capsys):
@@ -137,16 +170,36 @@ class TestStream:
         assert "stream summary" in out
 
     def test_single_feature_scheme_options(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["npz"], "--quiet",
-                     "--feature", "single", "--beta", "0.7"]) == 0
+        code = main(
+            [
+                "stream",
+                stream_capture["npz"],
+                "--quiet",
+                "--feature",
+                "single",
+                "--beta",
+                "0.7",
+            ]
+        )
+        assert code == 0
         out = capsys.readouterr().out
         assert "0.7-constant-load single-feature" in out
 
 
 class TestStreamBackends:
     def test_sketch_backend_on_pcap(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"], "--json",
-                     "--backend", "space-saving", "--capacity", "4"]) == 0
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--json",
+                "--backend",
+                "space-saving",
+                "--capacity",
+                "4",
+            ]
+        )
+        assert code == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["backend"] == "space-saving"
         assert summary["capacity"] == 4
@@ -155,24 +208,55 @@ class TestStreamBackends:
         assert 0.0 <= summary["mean_residual_fraction"] <= 1.0
 
     def test_sketch_backend_on_matrix_replay(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["npz"], "--json",
-                     "--backend", "misra-gries", "--capacity", "3"]) == 0
+        code = main(
+            [
+                "stream",
+                stream_capture["npz"],
+                "--json",
+                "--backend",
+                "misra-gries",
+                "--capacity",
+                "3",
+            ]
+        )
+        assert code == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["backend"] == "misra-gries"
         assert summary["peak_tracked_flows"] <= 3
 
     def test_memory_budget_sizes_capacity(self, stream_capture, capsys):
         from repro.pipeline.backends import TRACKED_ENTRY_BYTES
-        assert main(["stream", stream_capture["pcap"], "--json",
-                     "--backend", "space-saving",
-                     "--memory-budget", "64k"]) == 0
+
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--json",
+                "--backend",
+                "space-saving",
+                "--memory-budget",
+                "64k",
+            ]
+        )
+        assert code == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["capacity"] == (64 << 10) // TRACKED_ENTRY_BYTES
 
-    def test_table_summary_includes_backend_fields(self, stream_capture,
-                                                   capsys):
-        assert main(["stream", stream_capture["pcap"], "--quiet",
-                     "--backend", "count-min", "--capacity", "8"]) == 0
+    def test_table_summary_includes_backend_fields(
+        self, stream_capture, capsys
+    ):
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--quiet",
+                "--backend",
+                "count-min",
+                "--capacity",
+                "8",
+            ]
+        )
+        assert code == 0
         out = capsys.readouterr().out
         assert "peak_tracked_flows" in out
         assert "mean_residual_fraction" in out
@@ -182,20 +266,37 @@ class TestStreamSharded:
     def test_sharded_exact_matches_single(self, stream_capture, capsys):
         assert main(["stream", stream_capture["pcap"], "--json"]) == 0
         single = json.loads(capsys.readouterr().out)
-        assert main(["stream", stream_capture["pcap"], "--json",
-                     "--shards", "4"]) == 0
+        code = main(
+            ["stream", stream_capture["pcap"], "--json", "--shards", "4"]
+        )
+        assert code == 0
         sharded = json.loads(capsys.readouterr().out)
         assert sharded["shards"] == 4
         assert sharded["num_flows"] == single["num_flows"]
-        assert sharded["mean_elephants_per_slot"] == \
-            single["mean_elephants_per_slot"]
-        assert sharded["mean_traffic_fraction"] == \
-            single["mean_traffic_fraction"]
+        assert (
+            sharded["mean_elephants_per_slot"]
+            == single["mean_elephants_per_slot"]
+        )
+        assert (
+            sharded["mean_traffic_fraction"]
+            == single["mean_traffic_fraction"]
+        )
 
     def test_sharded_sketch_backend(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"], "--json",
-                     "--backend", "space-saving", "--capacity", "8",
-                     "--shards", "2"]) == 0
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--json",
+                "--backend",
+                "space-saving",
+                "--capacity",
+                "8",
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["shards"] == 2
         assert summary["capacity"] == 8
@@ -203,9 +304,21 @@ class TestStreamSharded:
 
     def test_budget_accounts_for_shards(self, stream_capture, capsys):
         from repro.pipeline.backends import TRACKED_ENTRY_BYTES
-        assert main(["stream", stream_capture["pcap"], "--json",
-                     "--backend", "space-saving", "--shards", "4",
-                     "--memory-budget", "64k"]) == 0
+
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--json",
+                "--backend",
+                "space-saving",
+                "--shards",
+                "4",
+                "--memory-budget",
+                "64k",
+            ]
+        )
+        assert code == 0
         summary = json.loads(capsys.readouterr().out)
         per_shard = ((64 << 10) // 4) // TRACKED_ENTRY_BYTES
         assert summary["capacity"] == 4 * per_shard
@@ -219,17 +332,29 @@ class TestMerge:
         paths = []
         for monitor in range(2):
             path = str(tmp_path / f"mon{monitor}.npz")
-            assert main(["stream", stream_capture["pcap"], "--quiet",
-                         "--backend", "space-saving", "--capacity", "6",
-                         "--summary-out", path]) == 0
+            code = main(
+                [
+                    "stream",
+                    stream_capture["pcap"],
+                    "--quiet",
+                    "--backend",
+                    "space-saving",
+                    "--capacity",
+                    "6",
+                    "--summary-out",
+                    path,
+                ]
+            )
+            assert code == 0
             paths.append(path)
         return paths
 
-    def test_summary_out_reports_path(self, stream_capture, tmp_path,
-                                      capsys):
+    def test_summary_out_reports_path(self, stream_capture, tmp_path, capsys):
         path = str(tmp_path / "mon.npz")
-        assert main(["stream", stream_capture["pcap"], "--json",
-                     "--summary-out", path]) == 0
+        code = main(
+            ["stream", stream_capture["pcap"], "--json", "--summary-out", path]
+        )
+        assert code == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["summary_out"] == path
 
@@ -249,6 +374,23 @@ class TestMerge:
         assert summary["merged_bytes"] > 0
         assert 0.0 <= summary["mean_residual_fraction"] <= 1.0
 
+    def test_merge_json_reports_elephants(self, summary_files, capsys):
+        """`merge --json` carries per-slot elephants, like `query`."""
+        assert main(["merge", *summary_files, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        by_slot = summary["elephants_by_slot"]
+        assert len(by_slot) == summary["num_slots"]
+        assert summary["elephants"] == by_slot[-1]
+        for entries in by_slot:
+            rates = [entry["rate_bps"] for entry in entries]
+            assert rates == sorted(rates, reverse=True)
+
+    def test_merge_fill_gaps_flag(self, summary_files, capsys):
+        code = main(["merge", *summary_files, "--fill-gaps", "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["num_slots"] == 4
+
     def test_merge_missing_file(self, tmp_path, capsys):
         assert main(["merge", str(tmp_path / "absent.npz")]) == 2
         assert "error:" in capsys.readouterr().err
@@ -263,86 +405,142 @@ class TestMerge:
     def test_merge_mixed_grids(self, stream_capture, tmp_path, capsys):
         fast = str(tmp_path / "fast.npz")
         slow = str(tmp_path / "slow.npz")
-        assert main(["stream", stream_capture["pcap"], "--quiet",
-                     "--slot-seconds", "60", "--summary-out", fast]) == 0
-        assert main(["stream", stream_capture["pcap"], "--quiet",
-                     "--slot-seconds", "30", "--summary-out", slow]) == 0
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--quiet",
+                "--slot-seconds",
+                "60",
+                "--summary-out",
+                fast,
+            ]
+        )
+        assert code == 0
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--quiet",
+                "--slot-seconds",
+                "30",
+                "--summary-out",
+                slow,
+            ]
+        )
+        assert code == 0
         capsys.readouterr()
         assert main(["merge", fast, slow]) == 2
         assert "grid" in capsys.readouterr().err
 
 
 class TestStreamParallel:
-    def test_workers_match_single_process_stream(self, stream_capture,
-                                                 capsys):
-        assert main(["stream", stream_capture["pcap"], "--json",
-                     "--workers", "2"]) == 0
+    def test_workers_match_single_process_stream(
+        self, stream_capture, capsys
+    ):
+        code = main(
+            ["stream", stream_capture["pcap"], "--json", "--workers", "2"]
+        )
+        assert code == 0
         parallel = json.loads(capsys.readouterr().out)
-        assert main(["stream", stream_capture["pcap"], "--json",
-                     "--shards", "2"]) == 0
+        code = main(
+            ["stream", stream_capture["pcap"], "--json", "--shards", "2"]
+        )
+        assert code == 0
         sharded = json.loads(capsys.readouterr().out)
         assert parallel["workers"] == 2
         assert parallel["num_slots"] == sharded["num_slots"]
         assert parallel["num_flows"] == sharded["num_flows"]
         assert parallel["bytes_matched"] == sharded["bytes_matched"]
-        assert parallel["mean_elephants_per_slot"] == \
-            sharded["mean_elephants_per_slot"]
+        assert (
+            parallel["mean_elephants_per_slot"]
+            == sharded["mean_elephants_per_slot"]
+        )
 
-    def test_sketch_workers_report_total_capacity(self, stream_capture,
-                                                  capsys):
-        assert main(["stream", stream_capture["pcap"], "--json",
-                     "--workers", "2", "--backend", "space-saving",
-                     "--capacity", "8"]) == 0
+    def test_sketch_workers_report_total_capacity(
+        self, stream_capture, capsys
+    ):
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--json",
+                "--workers",
+                "2",
+                "--backend",
+                "space-saving",
+                "--capacity",
+                "8",
+            ]
+        )
+        assert code == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["capacity"] == 8
         assert 0.0 <= summary["mean_residual_fraction"] <= 1.0
 
-    def test_workers_summary_out_feeds_merge(self, stream_capture,
-                                             tmp_path, capsys):
+    def test_workers_summary_out_feeds_merge(
+        self, stream_capture, tmp_path, capsys
+    ):
         path = str(tmp_path / "merged.npz")
-        assert main(["stream", stream_capture["pcap"], "--quiet",
-                     "--workers", "2", "--summary-out", path]) == 0
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--quiet",
+                "--workers",
+                "2",
+                "--summary-out",
+                path,
+            ]
+        )
+        assert code == 0
         capsys.readouterr()
         assert main(["merge", path, "--quiet"]) == 0
 
     def test_workers_reject_matrix_replay(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["npz"],
-                     "--workers", "2"]) == 2
+        assert main(["stream", stream_capture["npz"], "--workers", "2"]) == 2
         err = capsys.readouterr().err
         assert "error:" in err and "packet input" in err
 
     def test_workers_and_shards_conflict(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"], "--workers", "2",
-                     "--shards", "2"]) == 2
+        code = main(
+            ["stream", stream_capture["pcap"], "--workers", "2", "--shards", "2"]
+        )
+        assert code == 2
         assert "alternatives" in capsys.readouterr().err
 
     def test_workers_below_one(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"],
-                     "--workers", "0"]) == 2
+        assert main(["stream", stream_capture["pcap"], "--workers", "0"]) == 2
         assert "error:" in capsys.readouterr().err
 
-    def test_crashing_worker_exits_2_cleanly(self, stream_capture,
-                                             monkeypatch, capsys):
+    def test_crashing_worker_exits_2_cleanly(
+        self, stream_capture, monkeypatch, capsys
+    ):
         """A dead worker is one error: line, exit 2, no traceback, no
         orphaned processes — the contract a monitor wrapper keys on."""
         import multiprocessing
 
         monkeypatch.setenv("REPRO_RUNNER_FAULT", "worker:0")
-        assert main(["stream", stream_capture["pcap"], "--quiet",
-                     "--workers", "2"]) == 2
+        code = main(
+            ["stream", stream_capture["pcap"], "--quiet", "--workers", "2"]
+        )
+        assert code == 2
         captured = capsys.readouterr()
         assert captured.err.startswith("error:")
         assert "Traceback" not in captured.err
         assert "Traceback" not in captured.out
         assert multiprocessing.active_children() == []
 
-    def test_hard_crash_exits_2_cleanly(self, stream_capture,
-                                        monkeypatch, capsys):
+    def test_hard_crash_exits_2_cleanly(
+        self, stream_capture, monkeypatch, capsys
+    ):
         import multiprocessing
 
         monkeypatch.setenv("REPRO_RUNNER_FAULT", "worker:1:hard")
-        assert main(["stream", stream_capture["pcap"], "--quiet",
-                     "--workers", "2"]) == 2
+        code = main(
+            ["stream", stream_capture["pcap"], "--quiet", "--workers", "2"]
+        )
+        assert code == 2
         captured = capsys.readouterr()
         assert captured.err.startswith("error:")
         assert "Traceback" not in captured.err
@@ -350,36 +548,42 @@ class TestStreamParallel:
 
 
 class TestMergeFormatErrors:
-    def test_truncated_summary_file_is_clean_exit_2(self, stream_capture,
-                                                    tmp_path, capsys):
+    def test_truncated_summary_file_is_clean_exit_2(
+        self, stream_capture, tmp_path, capsys
+    ):
         """A summary artefact cut off mid-write must not traceback."""
         whole = str(tmp_path / "whole.npz")
-        assert main(["stream", stream_capture["pcap"], "--quiet",
-                     "--summary-out", whole]) == 0
+        code = main(
+            ["stream", stream_capture["pcap"], "--quiet", "--summary-out", whole]
+        )
+        assert code == 0
         capsys.readouterr()
         with open(whole, "rb") as stream:
             payload = stream.read()
         cut = str(tmp_path / "cut.npz")
         with open(cut, "wb") as stream:
-            stream.write(payload[:len(payload) // 2])
+            stream.write(payload[: len(payload) // 2])
         assert main(["merge", cut]) == 2
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "Traceback" not in err
 
-    def test_truncated_summary_raises_format_error(self, stream_capture,
-                                                   tmp_path):
+    def test_truncated_summary_raises_format_error(
+        self, stream_capture, tmp_path
+    ):
         from repro.distributed import load_summaries
         from repro.errors import SummaryFormatError
 
         whole = str(tmp_path / "whole.npz")
-        assert main(["stream", stream_capture["pcap"], "--quiet",
-                     "--summary-out", whole]) == 0
+        code = main(
+            ["stream", stream_capture["pcap"], "--quiet", "--summary-out", whole]
+        )
+        assert code == 0
         with open(whole, "rb") as stream:
             payload = stream.read()
         cut = str(tmp_path / "cut.npz")
         with open(cut, "wb") as stream:
-            stream.write(payload[:len(payload) // 2])
+            stream.write(payload[: len(payload) // 2])
         with pytest.raises(SummaryFormatError):
             load_summaries(cut)
 
@@ -388,7 +592,9 @@ class TestMergeFormatErrors:
         from repro.errors import SummaryFormatError
 
         record = SlotSummary(
-            slot=0, start=0.0, slot_seconds=60.0,
+            slot=0,
+            start=0.0,
+            slot_seconds=60.0,
             prefixes=(Prefix.parse("10.0.0.0/16"),),
             volumes=np.array([10.0]),
         ).to_bytes()
@@ -400,37 +606,66 @@ class TestMergeFormatErrors:
 
 class TestStreamErrors:
     def test_capacity_below_one(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"], "--backend",
-                     "space-saving", "--capacity", "0"]) == 2
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--backend",
+                "space-saving",
+                "--capacity",
+                "0",
+            ]
+        )
+        assert code == 2
         assert "error:" in capsys.readouterr().err
 
     def test_sketch_without_capacity(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"],
-                     "--backend", "space-saving"]) == 2
+        code = main(
+            ["stream", stream_capture["pcap"], "--backend", "space-saving"]
+        )
+        assert code == 2
         err = capsys.readouterr().err
         assert "error:" in err and "--capacity" in err
 
     def test_exact_rejects_capacity(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"],
-                     "--capacity", "8"]) == 2
+        assert main(["stream", stream_capture["pcap"], "--capacity", "8"]) == 2
         assert "exact" in capsys.readouterr().err
 
     def test_capacity_and_budget_conflict(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"],
-                     "--backend", "space-saving", "--capacity", "8",
-                     "--memory-budget", "1m"]) == 2
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--backend",
+                "space-saving",
+                "--capacity",
+                "8",
+                "--memory-budget",
+                "1m",
+            ]
+        )
+        assert code == 2
         assert "alternatives" in capsys.readouterr().err
 
     def test_bad_memory_budget(self, stream_capture, capsys):
-        assert main(["stream", stream_capture["pcap"],
-                     "--backend", "space-saving",
-                     "--memory-budget", "plenty"]) == 2
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--backend",
+                "space-saving",
+                "--memory-budget",
+                "plenty",
+            ]
+        )
+        assert code == 2
         assert "memory budget" in capsys.readouterr().err
 
     def test_unknown_backend_rejected_by_parser(self, stream_capture):
         with pytest.raises(SystemExit):
-            main(["stream", stream_capture["pcap"],
-                  "--backend", "bloom-filter"])
+            main(
+                ["stream", stream_capture["pcap"], "--backend", "bloom-filter"]
+            )
 
     def test_corrupt_npz(self, tmp_path, capsys):
         path = str(tmp_path / "corrupt.npz")
@@ -448,8 +683,15 @@ class TestStreamErrors:
         assert "error:" in capsys.readouterr().err
 
     def test_missing_rib_file(self, stream_capture, tmp_path, capsys):
-        assert main(["stream", stream_capture["pcap"],
-                     "--rib", str(tmp_path / "nope.rib")]) == 2
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--rib",
+                str(tmp_path / "nope.rib"),
+            ]
+        )
+        assert code == 2
         err = capsys.readouterr().err
         assert "error:" in err and "RIB" in err
 
@@ -473,6 +715,210 @@ class TestStreamErrors:
         with open(path, "wb") as stream:
             stream.write(b"\x00" * 16)
         assert main(["classify", path]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCollectorServiceCli:
+    """CLI surface of the live collector: stream --connect and query."""
+
+    @pytest.fixture()
+    def live(self):
+        from repro.distributed import CollectorService, ServiceHandle
+
+        with ServiceHandle(CollectorService()) as handle:
+            yield handle
+
+    @staticmethod
+    def _address(handle):
+        host, port = handle.address
+        return f"{host}:{port}"
+
+    def test_stream_connect_publishes_every_slot(
+        self, stream_capture, live, capsys
+    ):
+        address = self._address(live)
+        code = main(
+            [
+                "stream",
+                stream_capture["npz"],
+                "--quiet",
+                "--json",
+                "--connect",
+                address,
+                "--monitor",
+                "mon-cli",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["connect"] == address
+        assert summary["published"] == summary["num_slots"] == 4
+        assert summary["stale"] == 0
+        assert summary["skipped"] == 0
+
+    def test_query_table_after_stream(self, stream_capture, live, capsys):
+        address = self._address(live)
+        code = main(
+            [
+                "stream",
+                stream_capture["npz"],
+                "--quiet",
+                "--connect",
+                address,
+                "--monitor",
+                "mon-cli",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["query", address]) == 0
+        out = capsys.readouterr().out
+        assert "collector state" in out
+        assert "0 connected / 1 known" in out
+        assert "current elephants" in out
+
+    def test_query_json_matches_merge_json(
+        self, stream_capture, live, tmp_path, capsys
+    ):
+        """`query --json` and `merge --json` agree elephant-for-elephant.
+
+        Both ends serialise through the shared ``elephant_entries``
+        helper, so the live service's answer for a run must equal the
+        offline merge of the very same summaries.
+        """
+        address = self._address(live)
+        path = str(tmp_path / "mon.npz")
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--quiet",
+                "--summary-out",
+                path,
+                "--connect",
+                address,
+                "--monitor",
+                "mon-a",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["query", address, "--json"]) == 0
+        live_report = json.loads(capsys.readouterr().out)
+        assert main(["merge", path, "--json"]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert live_report["elephants_by_slot"] == merged["elephants_by_slot"]
+        assert live_report["elephants"] == merged["elephants"]
+        assert live_report["elephants"]
+
+    def test_workers_stream_publishes_to_service(
+        self, stream_capture, live, capsys
+    ):
+        address = self._address(live)
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--quiet",
+                "--json",
+                "--workers",
+                "2",
+                "--connect",
+                address,
+                "--monitor",
+                "mon-fleet",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["published"] == summary["num_slots"]
+        capsys.readouterr()
+        assert main(["query", address, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["slots"] == summary["num_slots"]
+
+    def test_collect_daemon_serves_one_run(
+        self, stream_capture, tmp_path, capsys
+    ):
+        """`repro collect --once 1` serves a full run, then exits 0."""
+        port_file = str(tmp_path / "port.txt")
+        outcome = {}
+
+        def _serve():
+            outcome["code"] = main(
+                [
+                    "collect",
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--once",
+                    "1",
+                    "--linger",
+                    "5",
+                    "--port-file",
+                    port_file,
+                    "--quiet",
+                ]
+            )
+
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        address = ""
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and not address:
+            try:
+                with open(port_file) as handle:
+                    address = handle.read().strip()
+            except FileNotFoundError:
+                time.sleep(0.05)
+        assert address, "collector never wrote its port file"
+        code = main(
+            ["stream", stream_capture["npz"], "--quiet", "--connect", address]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["query", address]) == 0
+        assert "collector state" in capsys.readouterr().out
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()
+        assert outcome["code"] == 0
+
+    def test_query_unreachable_address_exits_2(self, capsys):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["query", f"127.0.0.1:{port}"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot reach" in err
+
+    def test_stream_connect_unreachable_exits_2(
+        self, stream_capture, capsys
+    ):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(
+            [
+                "stream",
+                stream_capture["npz"],
+                "--quiet",
+                "--connect",
+                f"127.0.0.1:{port}",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot reach" in err
+
+    def test_malformed_address_exits_2(self, capsys):
+        assert main(["query", "not-an-address"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_collect_flag_validation(self, capsys):
+        assert main(["collect", "--max-inflight", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["collect", "--once", "0"]) == 2
         assert "error:" in capsys.readouterr().err
 
 
