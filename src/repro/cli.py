@@ -45,7 +45,6 @@ from repro.core.engine import (
     Scheme,
 )
 from repro.distributed import (
-    DEFAULT_RING_SLOTS,
     Collector,
     SlotSummary,
     elephant_entries,
@@ -73,13 +72,17 @@ from repro.pipeline.aggregator import (
     StreamingAggregator,
 )
 from repro.pipeline.backends import (
+    ADMISSION_NAMES,
     BACKEND_NAMES,
+    SKETCH_ENGINES,
     AggregationBackend,
     capacity_for_budget,
     make_backend,
     parse_memory_budget,
 )
 from repro.pipeline.engine import StreamingPipeline
+from repro.pipeline.sampling import SAMPLING_MODES
+from repro.pipeline.spec import PipelineSpec
 from repro.pipeline.sources import (
     CsvPacketSource,
     MatrixSlotSource,
@@ -127,11 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     classify.add_argument("matrix", help=".npz file from `repro simulate`")
     _add_classifier_options(classify)
-    classify.add_argument(
-        "--json",
-        action="store_true",
-        help="print a machine-readable JSON summary",
-    )
+    _add_output_options(classify, quiet=None)
 
     stream = commands.add_parser(
         "stream",
@@ -161,50 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=16,
         help="fixed-length flow granularity when no --rib is given",
     )
-    stream.add_argument(
-        "--backend",
-        choices=BACKEND_NAMES,
-        default="exact",
-        help="aggregation backend: exact tracks every "
-        "flow; sketch backends bound tracked state",
-    )
-    stream.add_argument(
-        "--capacity",
-        type=int,
-        default=None,
-        help="tracked-flow table size for sketch backends",
-    )
-    stream.add_argument(
-        "--memory-budget",
-        metavar="BYTES",
-        default=None,
-        help="size the sketch capacity from a byte budget "
-        "(suffixes k/m/g), instead of --capacity; "
-        "accounts for --shards",
-    )
-    stream.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help="partition the flow table across N shard "
-        "backends merged at slot close",
-    )
-    stream.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="fork N shard worker processes fed by a "
-        "reader process (true multi-process "
-        "ingestion; packet inputs only)",
-    )
-    stream.add_argument(
-        "--ring-slots",
-        type=int,
-        default=DEFAULT_RING_SLOTS,
-        help="shared-memory ring slots per worker: the "
-        "batches in flight before the reader "
-        "blocks (backpressure bound)",
-    )
+    add_pipeline_args(stream)
     stream.add_argument(
         "--summary-out",
         metavar="FILE",
@@ -230,16 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="LINK",
         help="link this monitor taps, for --connect",
     )
-    stream.add_argument(
-        "--quiet",
-        action="store_true",
-        help="suppress the per-slot monitor lines",
-    )
-    stream.add_argument(
-        "--json",
-        action="store_true",
-        help="print a machine-readable JSON summary",
-    )
+    _add_output_options(stream)
 
     merge = commands.add_parser(
         "merge",
@@ -265,16 +212,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit empty slots for intervals no monitor "
         "covered (what the live collector does)",
     )
-    merge.add_argument(
-        "--quiet",
-        action="store_true",
-        help="suppress the per-slot monitor lines",
-    )
-    merge.add_argument(
-        "--json",
-        action="store_true",
-        help="print a machine-readable JSON summary",
-    )
+    _add_output_options(merge)
 
     collect = commands.add_parser(
         "collect",
@@ -329,10 +267,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the bound HOST:PORT here once listening "
         "(for scripts using port 0)",
     )
-    collect.add_argument(
-        "--quiet",
-        action="store_true",
-        help="suppress the startup and shutdown lines",
+    _add_output_options(
+        collect,
+        quiet="suppress the startup and shutdown lines",
+        json_help=None,
     )
 
     query = commands.add_parser(
@@ -355,10 +293,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="connection timeout in seconds",
     )
-    query.add_argument(
-        "--json",
-        action="store_true",
-        help="print the raw JSON report",
+    _add_output_options(
+        query, quiet=None, json_help="print the raw JSON report"
     )
 
     figures = commands.add_parser(
@@ -398,6 +334,138 @@ def _add_classifier_options(command: argparse.ArgumentParser) -> None:
         default=12,
         help="latent-heat window in slots",
     )
+
+
+def add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ingest-pipeline flags on ``parser``.
+
+    The flags mirror :class:`~repro.pipeline.spec.PipelineSpec` field
+    for field; parse them back with ``PipelineSpec.from_args(args)``,
+    which also performs every cross-field validation. Embedders running
+    their own argparse front-end get the exact CLI surface (and error
+    messages) ``repro stream`` exposes.
+    """
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="exact",
+        help="aggregation backend: exact tracks every "
+        "flow; sketch backends bound tracked state",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=SKETCH_ENGINES,
+        default="array",
+        help="sketch execution engine: vectorized array "
+        "tables or the scalar reference path",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="tracked-flow table size for sketch backends",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        metavar="BYTES",
+        default=None,
+        help="size the sketch capacity from a byte budget "
+        "(suffixes k/m/g), instead of --capacity; "
+        "accounts for --shards/--workers",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the flow table across N shard "
+        "backends merged at slot close",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fork N shard worker processes fed by a "
+        "reader process (true multi-process "
+        "ingestion; packet inputs only)",
+    )
+    parser.add_argument(
+        "--ring-slots",
+        type=int,
+        default=None,
+        help="shared-memory ring slots per worker: the "
+        "batches in flight before the reader "
+        "blocks (backpressure bound)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="hash seed for sketch backends",
+    )
+    parser.add_argument(
+        "--sample-rate",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process 1 in N packets and invert the byte "
+        "counts back to full-traffic estimates",
+    )
+    parser.add_argument(
+        "--sample-mode",
+        choices=SAMPLING_MODES,
+        default="deterministic",
+        help="how packets are selected: deterministic "
+        "1-in-N, independent coin flips, or "
+        "NetFlow-style sampled flow records",
+    )
+    parser.add_argument(
+        "--sample-seed",
+        type=int,
+        default=0,
+        help="sampling phase / RNG seed",
+    )
+    parser.add_argument(
+        "--no-invert",
+        action="store_true",
+        help="report sampled bytes as observed, without "
+        "the 1/p inversion (for debugging the raw "
+        "thinned stream)",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=ADMISSION_NAMES,
+        default="none",
+        help="candidate-admission pre-filter: bloom gates "
+        "sketch entry on a counting-Bloom byte "
+        "threshold (array engine only)",
+    )
+    parser.add_argument(
+        "--admission-threshold",
+        type=float,
+        default=None,
+        metavar="BYTES",
+        help="bytes a flow must accumulate in the Bloom "
+        "pre-filter before it may enter the table",
+    )
+
+
+def _add_output_options(
+    command: argparse.ArgumentParser,
+    quiet: str | None = "suppress the per-slot monitor lines",
+    json_help: str | None = "print a machine-readable JSON summary",
+) -> None:
+    """The shared ``--quiet``/``--json`` output flags.
+
+    ``None`` for either help string omits that flag; every subcommand
+    installs its output surface through here so the flags stay
+    spelled, defaulted, and documented identically.
+    """
+    if quiet is not None:
+        command.add_argument("--quiet", action="store_true", help=quiet)
+    if json_help is not None:
+        command.add_argument(
+            "--json", action="store_true", help=json_help
+        )
 
 
 def _scheme_and_feature(args: argparse.Namespace) -> tuple[Scheme, Feature]:
@@ -506,6 +574,10 @@ def _capacity_from_args(
 ) -> int | None:
     """Resolve ``--capacity``/``--memory-budget`` to a total capacity.
 
+    Legacy shim: ``PipelineSpec.resolved_capacity`` is the same
+    computation behind the consolidated spec; this survives for
+    embedders that drive the old helper directly.
+
     ``shards`` is whatever splits the table — ``--shards`` tables in
     one process or ``--workers`` processes — so a byte budget buys N
     tables of K/N entries either way, never N tables of K.
@@ -528,6 +600,9 @@ def _backend_from_args(
     args: argparse.Namespace,
 ) -> AggregationBackend | None:
     """Build the aggregation backend the stream flags describe.
+
+    Legacy shim over ``PipelineSpec.from_args(args).build_backend()``;
+    the stream command itself now goes through the spec.
 
     Returns ``None`` for the default exact backend so callers can keep
     the aggregator's historical construction path.
@@ -588,21 +663,36 @@ def _packet_input(args: argparse.Namespace):
 
 def _stream_source(
     args: argparse.Namespace,
+    spec: PipelineSpec,
     backend: AggregationBackend | None,
 ) -> tuple[SlotSource, StreamingAggregator | None]:
     """Build the slot source (and aggregator, for packet inputs).
 
-    For packet inputs the backend bounds the aggregator's flow table;
-    for matrix replays the caller interposes it at the slot level.
+    For packet inputs the backend bounds the aggregator's flow table
+    and the spec's sampling front-end thins the packet stream; for
+    matrix replays the caller interposes the backend at the slot
+    level, and sampling is rejected (a matrix has no packets to
+    sample).
     """
     packet_input = _packet_input(args)
     if packet_input is None:
+        if not spec.sampling.is_null:
+            raise ReproError(
+                "--sample-rate/--sample-mode apply to packet inputs; "
+                "a rate-matrix replay has no packets to sample"
+            )
         return MatrixSlotSource(_load_matrix(args.input)), None
     packets, resolver = packet_input
     aggregator = StreamingAggregator(
-        resolver, slot_seconds=args.slot_seconds, backend=backend
+        resolver,
+        slot_seconds=args.slot_seconds,
+        backend=backend,
+        sample_rate=spec.sampling.applied_rate,
     )
-    return AggregatingSlotSource(packets, aggregator), aggregator
+    return (
+        AggregatingSlotSource(spec.wrap_source(packets), aggregator),
+        aggregator,
+    )
 
 
 def _print_slot_line(event) -> None:
@@ -638,16 +728,30 @@ def _monitor_name(args: argparse.Namespace) -> str:
     return args.monitor if args.monitor else args.input
 
 
+def _spec_summary(
+    summary: dict[str, object],
+    spec: PipelineSpec,
+    backend: AggregationBackend | None = None,
+) -> None:
+    """Fold the spec's sampling/admission facts into a summary dict."""
+    if not spec.sampling.is_null:
+        summary["sample_rate"] = spec.sampling.rate
+        summary["sample_mode"] = spec.sampling.mode
+        summary["inverted"] = spec.sampling.invert
+    if spec.admission != "none":
+        summary["admission"] = spec.admission
+        rejected = getattr(backend, "admission_rejected_bytes", None)
+        if rejected is not None:
+            summary["admission_rejected_bytes"] = rejected
+
+
 def _cmd_stream_parallel(
-    args: argparse.Namespace, scheme: Scheme, feature: Feature
+    args: argparse.Namespace,
+    spec: PipelineSpec,
+    scheme: Scheme,
+    feature: Feature,
 ) -> int:
     """``repro stream --workers N``: reader → workers → collector."""
-    if args.shards > 1:
-        raise ReproError(
-            "--shards and --workers are alternatives: shards split the "
-            "flow table inside one process, workers fork one process "
-            "per shard"
-        )
     packet_input = _packet_input(args)
     if packet_input is None:
         raise ReproError(
@@ -655,15 +759,12 @@ def _cmd_stream_parallel(
             "csv); matrix replays have no packets to partition"
         )
     packets, resolver = packet_input
-    capacity = _capacity_from_args(args, args.workers)
+    capacity = spec.resolved_capacity
     ingest = parallel_ingest(
         packets,
         resolver,
-        workers=args.workers,
         slot_seconds=args.slot_seconds,
-        backend=args.backend,
-        capacity=capacity,
-        ring_slots=args.ring_slots,
+        spec=spec,
     )
     if all(not run for run in ingest.runs):
         print("no slots in input", file=sys.stderr)
@@ -691,8 +792,8 @@ def _cmd_stream_parallel(
         num_flows -= 1  # merged frames always carry a residual row
     summary: dict[str, object] = {
         "run": pipeline.label,
-        "backend": args.backend,
-        "workers": args.workers,
+        "backend": spec.backend,
+        "workers": spec.workers,
         "num_slots": slots,
         "num_flows": num_flows,
         "mean_elephants_per_slot": series.mean_count,
@@ -704,6 +805,7 @@ def _cmd_stream_parallel(
         "packets_skipped": ingest.stats.packets_skipped,
         "bytes_matched": ingest.stats.bytes_matched,
     }
+    _spec_summary(summary, spec)
     if capacity is not None:
         summary["capacity"] = capacity
     if args.summary_out is not None:
@@ -731,18 +833,18 @@ def _cmd_stream_parallel(
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     scheme, feature = _scheme_and_feature(args)
-    if args.workers < 1:
-        raise ReproError("--workers must be >= 1")
-    if args.workers > 1:
-        return _cmd_stream_parallel(args, scheme, feature)
-    backend = _backend_from_args(args)
-    source, aggregator = _stream_source(args, backend)
+    spec = PipelineSpec.from_args(args)
+    if spec.workers > 1:
+        return _cmd_stream_parallel(args, spec, scheme, feature)
+    backend = spec.build_backend()
+    source, aggregator = _stream_source(args, spec, backend)
     pipeline = StreamingPipeline(
         source,
         scheme=scheme,
         feature=feature,
         config=_engine_config(args),
         backend=(backend if aggregator is None else None),
+        sampling=spec.sampling,
     )
     client: MonitorClient | None = None
     if args.connect is not None:
@@ -796,14 +898,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         num_flows -= 1  # the residual accounting row is not a flow
     summary: dict[str, object] = {
         "run": pipeline.label,
-        "backend": args.backend,
+        "backend": spec.backend,
         "num_slots": slots,
         "num_flows": num_flows,
         "mean_elephants_per_slot": series.mean_count,
         "mean_traffic_fraction": series.mean_fraction,
     }
-    if args.shards > 1:
-        summary["shards"] = args.shards
+    _spec_summary(summary, spec, backend)
+    if spec.shards > 1:
+        summary["shards"] = spec.shards
     if backend is not None:
         summary.update(
             {

@@ -89,8 +89,9 @@ class ClassificationEngine:
             raise ClassificationError(f"unknown feature {feature!r}")
         return classifier.classify(self.matrix)
 
-    def run_all(self, features: tuple[Feature, ...] = (Feature.LATENT_HEAT,)
-                ) -> dict[str, ClassificationResult]:
+    def run_all(
+        self, features: tuple[Feature, ...] = (Feature.LATENT_HEAT,)
+    ) -> dict[str, ClassificationResult]:
         """Run both schemes for the requested features, keyed by label."""
         results: dict[str, ClassificationResult] = {}
         for scheme in Scheme:
@@ -99,9 +100,14 @@ class ClassificationEngine:
                 results[result.label] = result
         return results
 
-    def run_streaming(self, scheme: Scheme, feature: Feature,
-                      backend=None, workers: int = 1,
-                      ) -> ClassificationResult:
+    def run_streaming(
+        self,
+        scheme: Scheme,
+        feature: Feature,
+        backend=None,
+        workers: int = 1,
+        spec=None,
+    ) -> ClassificationResult:
         """Classify through the streaming pipeline instead of in batch.
 
         The matrix replays column by column through the online
@@ -124,9 +130,23 @@ class ClassificationEngine:
         plus residual row 0) rather than the matrix's row order — same
         elephants, different shape — so it validates the distributed
         deployment, not byte-identity.
+
+        ``spec`` (a :class:`~repro.pipeline.spec.PipelineSpec`) is the
+        consolidated form of the same knobs: its backend and workers
+        settings replace the two kwargs, which stay as thin shims.
         """
         # Imported here: repro.pipeline sits above the core layer.
         from repro.pipeline.engine import classify_matrix_streaming
+
+        if spec is not None:
+            if backend is not None or workers != 1:
+                raise ClassificationError(
+                    "give run_streaming a spec or the legacy "
+                    "backend/workers kwargs, not both"
+                )
+            workers = spec.workers
+            if workers == 1:
+                backend = spec.build_backend()
         if workers < 1:
             raise ClassificationError("workers must be >= 1")
         if workers > 1:
@@ -135,14 +155,18 @@ class ClassificationEngine:
                     "workers mode builds its own per-worker backends; "
                     "pass backend=None"
                 )
-            return self._run_parallel(scheme, feature, workers)
+            return self._run_parallel(scheme, feature, workers, spec=spec)
         return classify_matrix_streaming(
-            self.matrix, scheme=scheme, feature=feature, config=self.config,
+            self.matrix,
+            scheme=scheme,
+            feature=feature,
+            config=self.config,
             backend=backend,
         )
 
-    def _run_parallel(self, scheme: Scheme, feature: Feature,
-                      workers: int) -> ClassificationResult:
+    def _run_parallel(
+        self, scheme: Scheme, feature: Feature, workers: int, spec=None
+    ) -> ClassificationResult:
         """Replay the matrix as packets through the worker fleet."""
         import math
 
@@ -169,9 +193,10 @@ class ClassificationEngine:
         ingest = parallel_ingest(
             ArrayPacketSource(timestamps, rows, volumes),
             RowResolver(self.matrix.prefixes),
-            workers=workers,
+            workers=None if spec is not None else workers,
             slot_seconds=seconds,
             start=float(anchor),
+            spec=spec,
         )
         # Workers only summarize slots that carried packets, but the
         # axis is authoritative here: idle leading/trailing slots (and
@@ -179,17 +204,20 @@ class ClassificationEngine:
         # in batch and workers=1 replays. One synthetic monitor run
         # covering the axis endpoints pins the merged span; fill_gaps
         # interpolates everything between.
-        span = [SlotSummary(
-            slot=slot,
-            start=anchor + slot * seconds,
-            slot_seconds=seconds,
-            prefixes=(),
-            volumes=np.zeros(0),
-            monitor="axis",
-        ) for slot in sorted({0, axis.num_slots - 1})]
+        span = [
+            SlotSummary(
+                slot=slot,
+                start=anchor + slot * seconds,
+                slot_seconds=seconds,
+                prefixes=(),
+                volumes=np.zeros(0),
+                monitor="axis",
+            )
+            for slot in sorted({0, axis.num_slots - 1})
+        ]
         ingest.runs.append(span)
         result, _ = ingest.collector(
-            scheme=scheme, feature=feature, config=self.config,
+            scheme=scheme, feature=feature, config=self.config
         ).classify()
         return result
 

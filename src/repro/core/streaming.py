@@ -56,10 +56,14 @@ class OnlineClassifier:
     single-feature rule.
     """
 
-    def __init__(self, detector: ThresholdDetector, num_flows: int,
-                 alpha: float = DEFAULT_ALPHA,
-                 window: int = DEFAULT_WINDOW_SLOTS,
-                 use_latent_heat: bool = True) -> None:
+    def __init__(
+        self,
+        detector: ThresholdDetector,
+        num_flows: int,
+        alpha: float = DEFAULT_ALPHA,
+        window: int = DEFAULT_WINDOW_SLOTS,
+        use_latent_heat: bool = True,
+    ) -> None:
         if num_flows < 1:
             raise ClassificationError("num_flows must be >= 1")
         if window < 1:
@@ -102,16 +106,20 @@ class OnlineClassifier:
         for age in range(1, min(self._slot, self.window) + 1):
             position = (self._slot - age) % self.window
             backfill[position] = -self._smoothed_ring[position]
-        self._deviation_ring = np.vstack([
-            self._deviation_ring, np.tile(backfill, (extra, 1)),
-        ])
-        self._heat = np.concatenate([
-            self._heat, np.full(extra, backfill.sum()),
-        ])
+        self._deviation_ring = np.vstack(
+            [self._deviation_ring, np.tile(backfill, (extra, 1))]
+        )
+        self._heat = np.concatenate(
+            [self._heat, np.full(extra, backfill.sum())]
+        )
         self.num_flows = num_flows
 
-    def observe_slot(self, rates: np.ndarray,
-                     exclude_rows: np.ndarray | None = None) -> SlotVerdict:
+    def observe_slot(
+        self,
+        rates: np.ndarray,
+        exclude_rows: np.ndarray | None = None,
+        suppress_rows: np.ndarray | None = None,
+    ) -> SlotVerdict:
         """Consume one slot's flow bandwidths and classify it.
 
         ``exclude_rows`` names rows that are *accounting artifacts*
@@ -122,6 +130,15 @@ class OnlineClassifier:
         would distort the cut) and are never classified as elephants.
         Their per-row state evolves as an all-zero flow, which keeps
         row identities aligned with the frame population.
+
+        ``suppress_rows`` names rows whose *evidence* is too thin to
+        trust this slot — the sampling variance guard: a flow seen in
+        too few sampled packets may owe its whole (inverted) bandwidth
+        to one lucky draw. Unlike exclusion, suppression is
+        verdict-only: the rows' rates still feed threshold detection
+        and their per-row state evolves normally (the estimates are
+        unbiased, just noisy); they simply cannot be elephants in this
+        slot's verdict.
         """
         rates = np.asarray(rates, dtype=float)
         if rates.shape != (self.num_flows,):
@@ -132,13 +149,18 @@ class OnlineClassifier:
         unexcluded = rates
         if exclude_rows is not None:
             excluded = np.asarray(exclude_rows, dtype=np.int64)
-            excluded = excluded[(excluded >= 0)
-                                & (excluded < self.num_flows)]
+            excluded = excluded[
+                (excluded >= 0) & (excluded < self.num_flows)
+            ]
             if excluded.size:
                 rates = rates.copy()
                 rates[excluded] = 0.0
-        if (excluded is not None and excluded.size and not rates.any()
-                and not self._tracker.has_history):
+        if (
+            excluded is not None
+            and excluded.size
+            and not rates.any()
+            and not self._tracker.has_history
+        ):
             # The exclusion zeroed the whole slot (a sketch frame whose
             # traffic is all residual) before any detection history
             # exists. Bootstrap the threshold from the *unexcluded*
@@ -166,6 +188,13 @@ class OnlineClassifier:
 
         if excluded is not None and excluded.size:
             mask[excluded] = False
+        if suppress_rows is not None:
+            suppressed = np.asarray(suppress_rows, dtype=np.int64)
+            suppressed = suppressed[
+                (suppressed >= 0) & (suppressed < self.num_flows)
+            ]
+            if suppressed.size:
+                mask[suppressed] = False
 
         verdict = SlotVerdict(
             slot=self._slot,
@@ -182,5 +211,7 @@ class OnlineClassifier:
             raise ClassificationError(
                 f"expected a ({self.num_flows}, slots) matrix"
             )
-        return [self.observe_slot(rate_columns[:, t])
-                for t in range(rate_columns.shape[1])]
+        return [
+            self.observe_slot(rate_columns[:, t])
+            for t in range(rate_columns.shape[1])
+        ]

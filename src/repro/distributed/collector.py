@@ -128,6 +128,7 @@ class MergedSlotSource:
             rates=rates,
             population=self.prefixes,
             residual_row=self.residual_row,
+            sample_rate=summary.sample_rate,
         )
 
     def slots(self) -> Iterator[SlotFrame]:

@@ -86,6 +86,11 @@ def merge_summaries(
     is deterministic in the input order), residuals are summed, and
     ``k`` re-truncates the merged table with the overflow conserved in
     the residual.
+
+    Monitors may sample at different rates: their volumes are already
+    inverted to full-traffic estimates, so the sums stay unbiased. The
+    merged summary carries the *coarsest* input rate, which is what a
+    downstream variance guard should size itself to.
     """
     summaries = list(summaries)
     if not summaries:
@@ -120,6 +125,9 @@ def merge_summaries(
         ),
         residual_bytes=residual,
         monitor=f"merged[{len(summaries)}]",
+        sample_rate=max(
+            summary.sample_rate for summary in summaries
+        ),
     )
     if k is not None:
         merged = merged.truncated(k)

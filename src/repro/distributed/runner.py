@@ -72,6 +72,7 @@ if TYPE_CHECKING:
     from repro.core.engine import EngineConfig, Feature, Scheme
     from repro.distributed.collector import Collector
     from repro.pipeline.aggregator import PrefixResolver
+    from repro.pipeline.spec import PipelineSpec
 
 #: Fault-injection hook for the crash-path tests: set to ``worker:<id>``
 #: (clean failure), ``worker:<id>:hard`` (exit without a message),
@@ -130,12 +131,17 @@ class WorkerSpec:
     each worker gets the same slice :func:`make_backend` gives shard
     ``i`` of a ``shards=workers`` build (``ceil(capacity / workers)``
     entries, seed ``seed + i``), so a ``--workers N`` run and a
-    ``--shards N`` run hold identical sketch state.
+    ``--shards N`` run hold identical sketch state. ``admission``
+    (with its threshold) puts the same Bloom gate in front of every
+    worker's table.
     """
 
     backend: str = "exact"
     capacity: int | None = None
     seed: int = 0
+    engine: str = "array"
+    admission: str = "none"
+    admission_threshold: float | None = None
 
     def validate(self, workers: int) -> None:
         """Fail fast in the collector, before any process forks."""
@@ -143,13 +149,24 @@ class WorkerSpec:
 
     def build(self, worker_id: int, workers: int) -> AggregationBackend:
         """The inner backend worker ``worker_id`` of ``workers`` owns."""
+        kwargs: dict = {"engine": self.engine}
+        if self.admission != "none":
+            kwargs["admission"] = self.admission
+            if self.admission_threshold is not None:
+                kwargs["admission_threshold"] = self.admission_threshold
         if workers == 1:
-            return make_backend(self.backend, capacity=self.capacity, seed=self.seed)
+            return make_backend(
+                self.backend,
+                capacity=self.capacity,
+                seed=self.seed,
+                **kwargs,
+            )
         sharded = make_backend(
             self.backend,
             capacity=self.capacity,
             seed=self.seed,
             shards=workers,
+            **kwargs,
         )
         return sharded.shards[worker_id]
 
@@ -320,6 +337,7 @@ def _worker_main(
     spec: WorkerSpec,
     slot_seconds: float,
     start: float | None,
+    sample_rate: float,
     ring_spec: RingSpec,
     free_queue,
     data_queue,
@@ -344,6 +362,7 @@ def _worker_main(
             slot_seconds=slot_seconds,
             start=start,
             backend=spec.build(worker_id, workers),
+            sample_rate=sample_rate,
         )
 
         def ship(frames) -> None:
@@ -455,14 +474,16 @@ class _Fleet:
 def parallel_ingest(
     source: PacketSource,
     resolver: "PrefixResolver",
-    workers: int,
+    workers: int | None = None,
     slot_seconds: float = 60.0,
     backend: str = "exact",
     capacity: int | None = None,
     seed: int = 0,
     start: float | None = None,
-    ring_slots: int = DEFAULT_RING_SLOTS,
+    ring_slots: int | None = None,
     ring_slot_packets: int | None = None,
+    spec: "PipelineSpec | None" = None,
+    sample_rate: float = 1.0,
 ) -> ParallelIngestResult:
     """Ingest a packet stream across ``workers`` shard processes.
 
@@ -474,6 +495,14 @@ def parallel_ingest(
     numerically zero, where the summary wire format's float round trip
     may flip a knife-edge verdict — and every byte conserved.
 
+    ``spec`` (a :class:`~repro.pipeline.spec.PipelineSpec`) is the
+    consolidated configuration: its ``workers`` count sizes the fleet,
+    its backend/capacity/admission knobs build the per-worker tables,
+    its sampling policy wraps ``source`` in the reader process (the
+    serial stage — one thinned stream feeds the whole fleet), and its
+    ``sample_rate`` stamps every summary the workers ship. The legacy
+    kwargs remain as shims; give one or the other.
+
     ``ring_slots`` bounds the batches in flight per worker (the reader
     blocks when a ring is full); ``ring_slot_packets`` sizes each slot
     and defaults to the source's chunk size, so a dealt sub-batch
@@ -484,14 +513,41 @@ def parallel_ingest(
     outlives the error. The shared-memory rings are unlinked on every
     exit path.
     """
-    if workers < 1:
+    if spec is not None:
+        if workers is not None or backend != "exact" or capacity is not None:
+            raise ClassificationError(
+                "give parallel_ingest a spec or the legacy "
+                "workers/backend/capacity kwargs, not both"
+            )
+        workers = spec.partitions
+        backend = spec.backend
+        capacity = spec.resolved_capacity
+        seed = spec.seed
+        if spec.ring_slots is not None:
+            ring_slots = spec.ring_slots
+        source = spec.wrap_source(source)
+        sample_rate = spec.sampling.applied_rate
+        worker_spec = WorkerSpec(
+            backend=backend,
+            capacity=capacity,
+            seed=seed,
+            engine=spec.engine,
+            admission=spec.admission,
+            admission_threshold=spec.admission_threshold,
+        )
+    else:
+        worker_spec = WorkerSpec(backend=backend, capacity=capacity, seed=seed)
+    if ring_slots is None:
+        ring_slots = DEFAULT_RING_SLOTS
+    if workers is None or workers < 1:
         raise ClassificationError("workers must be >= 1")
     if slot_seconds <= 0:
         raise ClassificationError("slot_seconds must be positive")
     if ring_slots < 1:
         raise ClassificationError("ring_slots must be >= 1")
-    spec = WorkerSpec(backend=backend, capacity=capacity, seed=seed)
-    spec.validate(workers)
+    if sample_rate < 1.0:
+        raise ClassificationError("sample_rate must be >= 1")
+    worker_spec.validate(workers)
     if ring_slot_packets is None:
         ring_slot_packets = getattr(source, "chunk_packets", DEFAULT_CHUNK_PACKETS)
 
@@ -511,9 +567,10 @@ def parallel_ingest(
                 args=(
                     worker_id,
                     workers,
-                    spec,
+                    worker_spec,
                     slot_seconds,
                     start,
+                    sample_rate,
                     rings[worker_id].spec,
                     free_queues[worker_id],
                     data_queues[worker_id],

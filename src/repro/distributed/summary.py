@@ -16,6 +16,14 @@ deployment, so they serialize two ways:
 
 Byte counts are carried as float64 because the aggregation path
 accumulates float byte volumes; totals are conserved, not re-quantised.
+
+Version 2 added ``sample_rate``: the inversion factor a sampling
+front-end already applied to the monitor's byte counts (1.0 for a full
+packet stream). It rides in the header so a collector merging monitors
+at different sampling rates knows the volumes are commensurable (all
+inverted to full-traffic estimates) and can size its variance guard to
+the coarsest rate. Version 1 records parse unchanged with
+``sample_rate`` 1.0.
 """
 
 from __future__ import annotations
@@ -36,11 +44,15 @@ if TYPE_CHECKING:
 
 #: Binary wire-format magic and version.
 MAGIC = b"RSUM"
-VERSION = 1
+VERSION = 2
 
 #: Header layout: magic, version, slot, start, slot_seconds,
-#: residual_bytes, entry count, monitor-name byte length.
-_HEADER = struct.Struct(">4sHqdddIH")
+#: residual_bytes, sample_rate, entry count, monitor-name byte length.
+_HEADER = struct.Struct(">4sHqddddIH")
+#: The version-1 header (no sample_rate), still accepted on read.
+_HEADER_V1 = struct.Struct(">4sHqdddIH")
+#: The shared magic + version prefix of every header version.
+_PREAMBLE = struct.Struct(">4sH")
 
 
 @dataclass(frozen=True)
@@ -50,6 +62,10 @@ class SlotSummary:
     ``prefixes[i]`` carried ``volumes[i]`` bytes during the slot;
     ``residual_bytes`` conserves untracked (or truncated-away) traffic.
     ``monitor`` names the producing tap, purely for reports.
+    ``sample_rate`` is the sampling inversion factor already applied to
+    every byte count (1.0 = unsampled); volumes are unbiased estimates
+    of the full traffic either way, which is what makes mixed-rate
+    merges add up.
     """
 
     slot: int
@@ -59,6 +75,7 @@ class SlotSummary:
     volumes: np.ndarray
     residual_bytes: float = 0.0
     monitor: str = ""
+    sample_rate: float = 1.0
 
     def __post_init__(self) -> None:
         volumes = np.asarray(self.volumes, dtype=np.float64)
@@ -66,6 +83,8 @@ class SlotSummary:
         object.__setattr__(self, "prefixes", tuple(self.prefixes))
         if self.slot_seconds <= 0:
             raise ClassificationError("slot_seconds must be positive")
+        if self.sample_rate < 1.0:
+            raise ClassificationError("sample_rate must be >= 1")
         if len(self.prefixes) != volumes.size:
             raise ClassificationError(
                 f"{len(self.prefixes)} prefixes for {volumes.size} "
@@ -76,9 +95,7 @@ class SlotSummary:
                 "summary entries must be duplicate-free"
             )
         if self.residual_bytes < 0 or (volumes < 0).any():
-            raise ClassificationError(
-                "byte volumes cannot be negative"
-            )
+            raise ClassificationError("byte volumes cannot be negative")
 
     @property
     def num_entries(self) -> int:
@@ -91,15 +108,20 @@ class SlotSummary:
         return float(self.volumes.sum()) + self.residual_bytes
 
     @classmethod
-    def from_frame(cls, frame: "SlotFrame", slot_seconds: float,
-                   monitor: str = "",
-                   top_k: int | None = None) -> "SlotSummary":
+    def from_frame(
+        cls,
+        frame: "SlotFrame",
+        slot_seconds: float,
+        monitor: str = "",
+        top_k: int | None = None,
+    ) -> "SlotSummary":
         """Reduce a pipeline slot frame to a summary.
 
         Rows with zero bytes are dropped (a summary is a candidate
         table, not a population history); the frame's residual row, if
         any, lands in ``residual_bytes``. ``top_k`` re-truncates on the
-        way out, spilling the cut entries into the residual.
+        way out, spilling the cut entries into the residual. The
+        frame's ``sample_rate`` is carried through.
         """
         volumes = frame.rates * slot_seconds / 8.0
         residual = 0.0
@@ -116,6 +138,7 @@ class SlotSummary:
             volumes=volumes[rows],
             residual_bytes=residual,
             monitor=monitor,
+            sample_rate=float(getattr(frame, "sample_rate", 1.0)),
         )
         if top_k is not None:
             summary = summary.truncated(top_k)
@@ -142,6 +165,7 @@ class SlotSummary:
             volumes=self.volumes[keep],
             residual_bytes=self.residual_bytes + spilled,
             monitor=self.monitor,
+            sample_rate=self.sample_rate,
         )
 
     # ------------------------------------------------------------------
@@ -154,8 +178,15 @@ class SlotSummary:
         if len(monitor) > 0xFFFF:
             raise ClassificationError("monitor name too long to encode")
         header = _HEADER.pack(
-            MAGIC, VERSION, self.slot, self.start, self.slot_seconds,
-            self.residual_bytes, self.num_entries, len(monitor),
+            MAGIC,
+            VERSION,
+            self.slot,
+            self.start,
+            self.slot_seconds,
+            self.residual_bytes,
+            self.sample_rate,
+            self.num_entries,
+            len(monitor),
         )
         networks = np.array(
             [prefix.network for prefix in self.prefixes], dtype=">u4"
@@ -164,28 +195,50 @@ class SlotSummary:
             [prefix.length for prefix in self.prefixes], dtype=np.uint8
         )
         volumes = self.volumes.astype(">f8")
-        return b"".join((
-            header, monitor, networks.tobytes(), lengths.tobytes(),
-            volumes.tobytes(),
-        ))
+        return b"".join(
+            (
+                header,
+                monitor,
+                networks.tobytes(),
+                lengths.tobytes(),
+                volumes.tobytes(),
+            )
+        )
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "SlotSummary":
-        """Parse one wire record produced by :meth:`to_bytes`."""
-        if len(payload) < _HEADER.size:
+        """Parse one wire record produced by :meth:`to_bytes`.
+
+        Speaks version 2 and, for compatibility with pre-sampling
+        monitors, version 1 (which implies ``sample_rate`` 1.0).
+        """
+        if len(payload) < _PREAMBLE.size:
             raise SummaryFormatError("summary record truncated")
-        (magic, version, slot, start, slot_seconds, residual, count,
-         monitor_len) = _HEADER.unpack_from(payload)
+        magic, version = _PREAMBLE.unpack_from(payload)
         if magic != MAGIC:
             raise SummaryFormatError(
                 f"bad summary magic {magic!r}; expected {MAGIC!r}"
             )
-        if version != VERSION:
+        if version == VERSION:
+            header = _HEADER
+        elif version == 1:
+            header = _HEADER_V1
+        else:
             raise SummaryFormatError(
                 f"summary version {version} unsupported (speaks "
                 f"{VERSION})"
             )
-        offset = _HEADER.size
+        if len(payload) < header.size:
+            raise SummaryFormatError("summary record truncated")
+        fields = header.unpack_from(payload)
+        if version == VERSION:
+            (_, _, slot, start, slot_seconds, residual, sample_rate,
+             count, monitor_len) = fields
+        else:
+            (_, _, slot, start, slot_seconds, residual, count,
+             monitor_len) = fields
+            sample_rate = 1.0
+        offset = header.size
         expected = offset + monitor_len + count * (4 + 1 + 8)
         if len(payload) != expected:
             raise SummaryFormatError(
@@ -194,25 +247,33 @@ class SlotSummary:
             )
         monitor = payload[offset:offset + monitor_len].decode("utf-8")
         offset += monitor_len
-        networks = np.frombuffer(payload, dtype=">u4", count=count,
-                                 offset=offset)
+        networks = np.frombuffer(
+            payload, dtype=">u4", count=count, offset=offset
+        )
         offset += 4 * count
-        lengths = np.frombuffer(payload, dtype=np.uint8, count=count,
-                                offset=offset)
+        lengths = np.frombuffer(
+            payload, dtype=np.uint8, count=count, offset=offset
+        )
         offset += count
-        volumes = np.frombuffer(payload, dtype=">f8", count=count,
-                                offset=offset)
+        volumes = np.frombuffer(
+            payload, dtype=">f8", count=count, offset=offset
+        )
         try:
             prefixes = tuple(
                 Prefix(int(network), int(length))
-                for network, length in zip(networks.tolist(),
-                                           lengths.tolist())
+                for network, length in zip(
+                    networks.tolist(), lengths.tolist()
+                )
             )
             return cls(
-                slot=slot, start=start, slot_seconds=slot_seconds,
+                slot=slot,
+                start=start,
+                slot_seconds=slot_seconds,
                 prefixes=prefixes,
                 volumes=volumes.astype(np.float64),
-                residual_bytes=residual, monitor=monitor,
+                residual_bytes=residual,
+                monitor=monitor,
+                sample_rate=sample_rate,
             )
         except ReproError as exc:
             raise SummaryFormatError(
@@ -240,31 +301,44 @@ def save_summaries(path: str, summaries: Sequence[SlotSummary]) -> None:
         raise ClassificationError(
             "summaries must be slot-ordered and duplicate-free"
         )
-    counts = np.array([summary.num_entries for summary in summaries],
-                      dtype=np.int64)
+    counts = np.array(
+        [summary.num_entries for summary in summaries], dtype=np.int64
+    )
     networks = np.array(
-        [prefix.network for summary in summaries
-         for prefix in summary.prefixes],
+        [
+            prefix.network
+            for summary in summaries
+            for prefix in summary.prefixes
+        ],
         dtype=np.uint32,
     )
     lengths = np.array(
-        [prefix.length for summary in summaries
-         for prefix in summary.prefixes],
+        [
+            prefix.length
+            for summary in summaries
+            for prefix in summary.prefixes
+        ],
         dtype=np.uint8,
     )
-    volumes = (np.concatenate([summary.volumes for summary in summaries])
-               if networks.size else np.zeros(0))
+    volumes = (
+        np.concatenate([summary.volumes for summary in summaries])
+        if networks.size
+        else np.zeros(0)
+    )
     try:
         _write_npz(path, summaries, counts, networks, lengths, volumes)
     except OSError as exc:
-        raise ReproError(
-            f"cannot write summaries {path!r}: {exc}"
-        ) from exc
+        raise ReproError(f"cannot write summaries {path!r}: {exc}") from exc
 
 
-def _write_npz(path: str, summaries: list[SlotSummary],
-               counts: np.ndarray, networks: np.ndarray,
-               lengths: np.ndarray, volumes: np.ndarray) -> None:
+def _write_npz(
+    path: str,
+    summaries: list[SlotSummary],
+    counts: np.ndarray,
+    networks: np.ndarray,
+    lengths: np.ndarray,
+    volumes: np.ndarray,
+) -> None:
     # savez on an open handle writes to exactly the path given; on a
     # bare string numpy silently appends ".npz", and the caller would
     # then report a file that does not exist
@@ -272,19 +346,29 @@ def _write_npz(path: str, summaries: list[SlotSummary],
         _savez(stream, summaries, counts, networks, lengths, volumes)
 
 
-def _savez(stream, summaries: list[SlotSummary], counts: np.ndarray,
-           networks: np.ndarray, lengths: np.ndarray,
-           volumes: np.ndarray) -> None:
+def _savez(
+    stream,
+    summaries: list[SlotSummary],
+    counts: np.ndarray,
+    networks: np.ndarray,
+    lengths: np.ndarray,
+    volumes: np.ndarray,
+) -> None:
     np.savez_compressed(
         stream,
         version=np.int64(VERSION),
         slot_seconds=np.float64(summaries[0].slot_seconds),
         monitor=np.str_(summaries[0].monitor),
-        slots=np.array([summary.slot for summary in summaries],
-                       dtype=np.int64),
+        slots=np.array(
+            [summary.slot for summary in summaries], dtype=np.int64
+        ),
         starts=np.array([summary.start for summary in summaries]),
-        residuals=np.array([summary.residual_bytes
-                            for summary in summaries]),
+        residuals=np.array(
+            [summary.residual_bytes for summary in summaries]
+        ),
+        sample_rates=np.array(
+            [summary.sample_rate for summary in summaries]
+        ),
         counts=counts,
         networks=networks,
         lengths=lengths,
@@ -293,7 +377,11 @@ def _savez(stream, summaries: list[SlotSummary], counts: np.ndarray,
 
 
 def load_summaries(path: str) -> list[SlotSummary]:
-    """Load a monitor run written by :func:`save_summaries`."""
+    """Load a monitor run written by :func:`save_summaries`.
+
+    Accepts the current artefact version and version 1 (pre-sampling;
+    every slot gets ``sample_rate`` 1.0).
+    """
     try:
         with np.load(path) as archive:
             data = {key: archive[key] for key in archive.files}
@@ -302,7 +390,7 @@ def load_summaries(path: str) -> list[SlotSummary]:
             f"cannot load summaries {path!r}: {exc}"
         ) from exc
     try:
-        if int(data["version"]) != VERSION:
+        if int(data["version"]) not in (1, VERSION):
             raise SummaryFormatError(
                 f"summary file version {int(data['version'])} "
                 f"unsupported (speaks {VERSION})"
@@ -310,6 +398,10 @@ def load_summaries(path: str) -> list[SlotSummary]:
         slot_seconds = float(data["slot_seconds"])
         monitor = str(data["monitor"])
         counts = data["counts"].astype(np.int64)
+        if "sample_rates" in data:
+            sample_rates = data["sample_rates"].astype(np.float64)
+        else:
+            sample_rates = np.ones(counts.size)
         bounds = np.concatenate(([0], np.cumsum(counts)))
         if bounds[-1] != data["networks"].size:
             raise SummaryFormatError(
@@ -325,15 +417,18 @@ def load_summaries(path: str) -> list[SlotSummary]:
                     data["lengths"][lo:hi].tolist(),
                 )
             )
-            summaries.append(SlotSummary(
-                slot=int(data["slots"][index]),
-                start=float(data["starts"][index]),
-                slot_seconds=slot_seconds,
-                prefixes=prefixes,
-                volumes=data["volumes"][lo:hi],
-                residual_bytes=float(data["residuals"][index]),
-                monitor=monitor,
-            ))
+            summaries.append(
+                SlotSummary(
+                    slot=int(data["slots"][index]),
+                    start=float(data["starts"][index]),
+                    slot_seconds=slot_seconds,
+                    prefixes=prefixes,
+                    volumes=data["volumes"][lo:hi],
+                    residual_bytes=float(data["residuals"][index]),
+                    monitor=monitor,
+                    sample_rate=float(sample_rates[index]),
+                )
+            )
         return summaries
     except SummaryFormatError:
         raise

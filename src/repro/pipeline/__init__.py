@@ -15,6 +15,7 @@ from repro.pipeline.aggregator import (
     StreamingAggregator,
 )
 from repro.pipeline.backends import (
+    ADMISSION_NAMES,
     BACKEND_NAMES,
     RESIDUAL_PREFIX,
     SKETCH_ENGINES,
@@ -41,6 +42,12 @@ from repro.pipeline.engine import (
     classify_matrix_streaming,
     run_stream,
 )
+from repro.pipeline.sampling import (
+    SAMPLING_MODES,
+    UNSAMPLED,
+    SampledPacketSource,
+    SamplingSpec,
+)
 from repro.pipeline.sharded import ShardedAggregation, shard_of
 from repro.pipeline.sources import (
     ArrayPacketSource,
@@ -53,8 +60,10 @@ from repro.pipeline.sources import (
     SlotFrame,
     SlotSource,
 )
+from repro.pipeline.spec import PipelineSpec
 
 __all__ = [
+    "ADMISSION_NAMES",
     "AggregatingSlotSource",
     "AggregationBackend",
     "ArrayCountMinAggregation",
@@ -82,7 +91,11 @@ __all__ = [
     "PacketBatch",
     "PacketSource",
     "PcapPacketSource",
+    "PipelineSpec",
     "PrefixResolver",
+    "SAMPLING_MODES",
+    "SampledPacketSource",
+    "SamplingSpec",
     "ScenarioSlotSource",
     "SlotFrame",
     "SlotSource",
@@ -90,6 +103,7 @@ __all__ = [
     "StreamEvent",
     "StreamingAggregator",
     "StreamingPipeline",
+    "UNSAMPLED",
     "classify_matrix_streaming",
     "run_stream",
 ]

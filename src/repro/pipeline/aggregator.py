@@ -80,6 +80,13 @@ class StreamingAggregator:
     across that many inner tables
     (:class:`~repro.pipeline.sharded.ShardedAggregation`), with
     ``capacity`` as the total bound.
+
+    ``sample_rate`` stamps every emitted frame: set it to the sampling
+    front-end's applied inversion factor
+    (:attr:`~repro.pipeline.sampling.SamplingSpec.applied_rate`) when
+    the packet stream feeding this aggregator is sampled, so the
+    classifier and the summary wire format know the rates are
+    inverted estimates.
     """
 
     def __init__(
@@ -90,9 +97,12 @@ class StreamingAggregator:
         backend: AggregationBackend | str | None = None,
         capacity: int | None = None,
         shards: int = 1,
+        sample_rate: float = 1.0,
     ) -> None:
         if slot_seconds <= 0:
             raise ClassificationError("slot_seconds must be positive")
+        if sample_rate < 1.0:
+            raise ClassificationError("sample_rate must be >= 1")
         if isinstance(resolver, RoutingTable):
             resolver = CompiledLpm.from_table(resolver)
         self.resolver = resolver
@@ -113,6 +123,7 @@ class StreamingAggregator:
                 "make_backend(name, capacity=..., shards=...) instead"
             )
         self.backend = backend
+        self.sample_rate = float(sample_rate)
         self.slot_seconds = float(slot_seconds)
         self.start = start
         self.stats = AggregationStats()
@@ -270,6 +281,7 @@ class StreamingAggregator:
             rates=rates,
             population=self.backend.prefixes,
             residual_row=self.backend.residual_row,
+            sample_rate=self.sample_rate,
         )
         if self._first_slot is None:
             self._first_slot = self._open_slot

@@ -60,6 +60,12 @@ from repro.sketches.array_tables import (
     ArraySpaceSaving,
     _KeyTable,
 )
+from repro.sketches.bloom import (
+    DEFAULT_ADMISSION_THRESHOLD,
+    DEFAULT_BLOOM_DECAY,
+    DEFAULT_BLOOM_DEPTH,
+    gated_table,
+)
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.misra_gries import MisraGries
 from repro.sketches.sample_hold import SampleAndHold
@@ -592,7 +598,16 @@ class ArraySketchAggregation(AggregationBackend):
 
     residual_row = 0
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        admission: str | None = None,
+        admission_threshold: float = DEFAULT_ADMISSION_THRESHOLD,
+        admission_width: int | None = None,
+        admission_depth: int = DEFAULT_BLOOM_DEPTH,
+        admission_decay: float = DEFAULT_BLOOM_DECAY,
+        admission_seed: int = 0,
+    ) -> None:
         if capacity < 1:
             raise ClassificationError("capacity must be >= 1")
         super().__init__()
@@ -600,6 +615,23 @@ class ArraySketchAggregation(AggregationBackend):
         self.prefixes = [RESIDUAL_PREFIX]
         self._records = [FlowRecord(RESIDUAL_PREFIX)]
         self._table = self._make_table(capacity)
+        if admission in (None, "none"):
+            self.admission = None
+        elif admission == "bloom":
+            self.admission = admission
+            self._table = gated_table(
+                self._table,
+                threshold_bytes=admission_threshold,
+                width=admission_width,
+                depth=admission_depth,
+                decay=admission_decay,
+                seed=admission_seed,
+            )
+        else:
+            raise ClassificationError(
+                f"unknown admission policy {admission!r}; expected one "
+                f"of {', '.join(ADMISSION_NAMES)}"
+            )
         self._pend_bytes = np.zeros(capacity)
         self._pend_packets = np.zeros(capacity, dtype=np.int64)
         self._pend_first = np.full(capacity, np.inf)
@@ -621,6 +653,11 @@ class ArraySketchAggregation(AggregationBackend):
     @property
     def tracked_flows(self) -> int:
         return len(self._table)
+
+    @property
+    def admission_rejected_bytes(self) -> float:
+        """Bytes turned away by the admission gate (0 without one)."""
+        return float(getattr(self._table, "rejected_weight", 0.0))
 
     def accumulate(
         self,
@@ -773,6 +810,11 @@ class ArraySketchAggregation(AggregationBackend):
             self._res_last = -math.inf
         if active.size:
             self._reset_pending(active)
+        end_slot = getattr(self._table, "end_slot", None)
+        if end_slot is not None:
+            # slot-boundary hook — the Bloom admission gate ages its
+            # counters here so the threshold tracks recent bytes
+            end_slot()
         self.slots_closed += 1
         return vector
 
@@ -806,11 +848,12 @@ class ArrayCountMinAggregation(ArraySketchAggregation):
         seed: int = 0,
         width: int | None = None,
         depth: int = _CM_DEPTH,
+        **admission,
     ) -> None:
         if width is None:
             width = max(16, _CM_WIDTH_FACTOR * capacity)
         self._cm_params = (width, depth, seed)
-        super().__init__(capacity)
+        super().__init__(capacity, **admission)
 
     def _make_table(self, capacity: int) -> _KeyTable:
         width, depth, seed = self._cm_params
@@ -871,6 +914,11 @@ BACKEND_NAMES = (
 #: Sketch execution engines accepted by :func:`make_backend`.
 SKETCH_ENGINES = ("array", "scalar")
 
+#: Admission policies accepted by :func:`make_backend`. ``"bloom"``
+#: puts a counting-Bloom byte-threshold gate in front of the array
+#: candidate tables (:mod:`repro.sketches.bloom`).
+ADMISSION_NAMES = ("none", "bloom")
+
 _SCALAR_CLASSES: dict[str, type[AggregationBackend]] = {
     "space-saving": SpaceSavingAggregation,
     "misra-gries": MisraGriesAggregation,
@@ -893,19 +941,26 @@ def make_backend(
     seed: int = 0,
     shards: int = 1,
     engine: str = "array",
+    admission: str | None = None,
     **kwargs,
 ) -> AggregationBackend:
     """Build a backend by CLI name.
 
     ``exact`` takes no capacity; every sketch backend requires one.
     Extra keyword arguments go to the backend constructor (for example
-    ``sampling_probability`` for ``sample-hold``).
+    ``sampling_probability`` for ``sample-hold``, or the
+    ``admission_*`` tuning knobs of the Bloom gate).
 
     ``engine`` selects the sketch execution engine: ``"array"`` (the
     default) runs the vectorized candidate tables, ``"scalar"`` the
     dict-and-heap reference path. ``sample-hold`` always runs scalar;
     ``exact`` ignores the engine (its one implementation is already
     vectorized).
+
+    ``admission`` selects the candidate-admission pre-filter:
+    ``"bloom"`` gates entry to the (array-engine) candidate table on a
+    counting-Bloom byte threshold, so tail flows stop churning the
+    table. Only the array engine's sketch backends support it.
 
     ``shards > 1`` wraps ``shards`` inner backends of the same spec in
     a :class:`~repro.pipeline.sharded.ShardedAggregation`. ``capacity``
@@ -920,6 +975,22 @@ def make_backend(
         )
     if shards < 1:
         raise ClassificationError("shards must be >= 1")
+    if admission is not None and admission not in ADMISSION_NAMES:
+        raise ClassificationError(
+            f"unknown admission policy {admission!r}; expected one of "
+            f"{', '.join(ADMISSION_NAMES)}"
+        )
+    if admission == "none":
+        admission = None
+    if admission is not None:
+        if engine != "array" or name not in _ARRAY_CLASSES:
+            raise ClassificationError(
+                "admission gating needs an array-engine sketch "
+                f"backend ({', '.join(sorted(_ARRAY_CLASSES))}); "
+                f"got {name!r} on the {engine!r} engine"
+            )
+        kwargs.setdefault("admission_seed", seed)
+        kwargs["admission"] = admission
     if shards > 1:
         # imported here: sharded sits above this module
         from repro.pipeline.sharded import ShardedAggregation

@@ -33,7 +33,9 @@ from repro.flows.matrix import RateMatrix
 from repro.flows.records import TimeAxis
 from repro.net.prefix import Prefix
 from repro.pipeline.backends import AggregationBackend, SketchSlotSource
+from repro.pipeline.sampling import UNSAMPLED, SamplingSpec
 from repro.pipeline.sources import MatrixSlotSource, SlotFrame, SlotSource
+from repro.pipeline.spec import PipelineSpec
 
 
 @dataclass(frozen=True)
@@ -67,6 +69,13 @@ class StreamingPipeline:
     residual row. Use it for slot-level inputs (matrix replays); packet
     inputs should pass the backend to the aggregator instead, where the
     bound applies before any per-flow state exists.
+
+    ``spec`` configures both in one step: its backend bounds the source
+    (unless an explicit ``backend`` is given) and its sampling policy
+    sizes the variance guard. ``sampling`` alone sets just the guard —
+    pass it when the aggregator upstream already applied the backend
+    and the sampling mask. Frames carry their own ``sample_rate``; the
+    guard only engages on frames that declare one above 1.
     """
 
     def __init__(
@@ -76,7 +85,20 @@ class StreamingPipeline:
         feature: Feature = Feature.LATENT_HEAT,
         config: EngineConfig | None = None,
         backend: AggregationBackend | None = None,
+        sampling: SamplingSpec | None = None,
+        spec: PipelineSpec | None = None,
     ) -> None:
+        if spec is not None:
+            if spec.workers > 1:
+                raise ClassificationError(
+                    "spec.workers > 1 is multi-process ingestion; use "
+                    "StreamingPipeline.parallel(..., spec=spec)"
+                )
+            if sampling is None:
+                sampling = spec.sampling
+            if backend is None:
+                backend = spec.build_backend()
+        self.sampling = sampling if sampling is not None else UNSAMPLED
         if backend is not None:
             source = SketchSlotSource(source, backend)
         self.source = source
@@ -99,7 +121,7 @@ class StreamingPipeline:
         cls,
         packets,
         resolver,
-        workers: int,
+        workers: int | None = None,
         slot_seconds: float = 60.0,
         backend: str = "exact",
         capacity: int | None = None,
@@ -109,6 +131,7 @@ class StreamingPipeline:
         scheme: Scheme = Scheme.CONSTANT_LOAD,
         feature: Feature = Feature.LATENT_HEAT,
         config: EngineConfig | None = None,
+        spec: PipelineSpec | None = None,
     ) -> "StreamingPipeline":
         """A pipeline fed by multi-process ingestion.
 
@@ -138,6 +161,7 @@ class StreamingPipeline:
             capacity=capacity,
             seed=seed,
             start=start,
+            spec=spec,
         )
         collector = ingest.collector(
             k=k, scheme=scheme, feature=feature, config=config
@@ -145,6 +169,7 @@ class StreamingPipeline:
         pipeline = cls(
             collector.source(), scheme=scheme, feature=feature,
             config=config,
+            sampling=spec.sampling if spec is not None else None,
         )
         pipeline.ingest_stats = ingest.stats
         return pipeline
@@ -190,11 +215,33 @@ class StreamingPipeline:
             if frame.residual_row is not None
             else None
         )
-        verdict = self.classifier.observe_slot(rates, exclude_rows=exclude)
+        suppress = self._variance_guard(frame, rates)
+        verdict = self.classifier.observe_slot(
+            rates, exclude_rows=exclude, suppress_rows=suppress
+        )
         self._builder.add_slot(
             rates, verdict.elephant_mask, residual_row=frame.residual_row
         )
         return StreamEvent(frame, verdict)
+
+    def _variance_guard(self, frame: SlotFrame, rates: np.ndarray):
+        """Rows with too little *sampled* evidence to trust this slot.
+
+        Inverted rates are unbiased but high-variance for thin flows: a
+        single lucky sampled packet from a mouse inflates to N packets'
+        worth of apparent volume. Undo the inversion to recover the
+        bytes actually observed and suppress the verdict for rows below
+        the sampling spec's evidence floor (a few packets' worth). Only
+        frames that declare ``sample_rate > 1`` are guarded.
+        """
+        rate = getattr(frame, "sample_rate", 1.0)
+        if rate <= 1.0 or self.sampling.evidence_bytes <= 0:
+            return None
+        observed = rates * self.source.slot_seconds / (8.0 * rate)
+        thin = (rates > 0.0) & (observed < self.sampling.evidence_bytes)
+        if not thin.any():
+            return None
+        return np.flatnonzero(thin)
 
     def series(self) -> ElephantSeries:
         """The incremental Fig. 1(a)/(b) series over the slots seen."""
@@ -288,6 +335,7 @@ def run_stream(
     feature: Feature = Feature.LATENT_HEAT,
     config: EngineConfig | None = None,
     backend: AggregationBackend | None = None,
+    spec: PipelineSpec | None = None,
 ) -> tuple[ClassificationResult, ElephantSeries]:
     """Run a slot source end to end and collect the batch-shaped result.
 
@@ -300,7 +348,7 @@ def run_stream(
     config = config or EngineConfig()
     pipeline = StreamingPipeline(
         source, scheme=scheme, feature=feature, config=config,
-        backend=backend,
+        backend=backend, spec=spec,
     )
     collector = StreamCollector().collect(pipeline.events())
     detector = make_detector(scheme, beta=config.beta)

@@ -1,0 +1,227 @@
+"""Packet sampling front-end with inversion correction.
+
+Production line-rate monitors never observe full traffic: routers
+export 1-in-N sampled packet streams (or NetFlow-style sampled flow
+records), and the classifier downstream has to work from that partial
+view. "High Speed Elephant Flow Detection Under Partial Information"
+(PAPERS.md) is the template: sample, invert the byte counts by the
+sampling probability so volume estimates stay unbiased, and guard the
+per-flow verdicts against the variance the inversion amplifies.
+
+:class:`SamplingSpec` describes the sampling policy; wrapping any
+:class:`~repro.pipeline.sources.PacketSource` with
+:meth:`SamplingSpec.wrap` yields a :class:`SampledPacketSource` whose
+batches contain only the selected packets, with ``wire_bytes`` already
+scaled by N (integer multiply — int64 columns stay int64, so sampled
+batches travel the shared-memory ring unchanged). The applied scale
+travels with every frame as ``SlotFrame.sample_rate`` and with every
+wire summary as ``SlotSummary.sample_rate``, so a collector can merge
+monitors running at different rates and keep the variance guard of the
+coarsest one.
+
+Three modes:
+
+- ``deterministic`` — 1-in-N count-based selection on a global packet
+  counter (the classic router implementation). ``seed`` picks the
+  counter phase. Averaged over all N phases the inverted totals equal
+  the true totals *exactly*, which the property suite asserts.
+- ``probabilistic`` — i.i.d. per-packet coin flips with p = 1/N from a
+  seeded generator; the textbook unbiased estimator.
+- ``flow-records`` — deterministic 1-in-N selection followed by
+  per-batch aggregation of surviving packets into one record per flow
+  key, emulating a router exporting sampled flow records instead of
+  packets. Record timestamps are the first sampled packet's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ClassificationError
+from repro.pipeline.sources import PacketBatch, PacketSource
+
+#: Valid ``SamplingSpec.mode`` values.
+SAMPLING_MODES = ("deterministic", "probabilistic", "flow-records")
+
+#: Default variance guard: a flow needs at least this many *sampled*
+#: packets' worth of evidence in a slot before it can be called an
+#: elephant (see :attr:`SamplingSpec.evidence_bytes`).
+DEFAULT_GUARD_PACKETS = 2
+#: Assumed mean packet size for the evidence floor, in bytes.
+DEFAULT_GUARD_PACKET_BYTES = 1500.0
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """Sampling policy for a monitor's packet front-end.
+
+    ``rate`` is N in 1-in-N: 1 means unsampled. ``invert`` scales the
+    surviving packets' bytes by N so downstream volume estimates are
+    unbiased; disabling it leaves raw sampled counts (and stamps
+    frames with ``sample_rate`` 1.0, i.e. "no correction applied").
+
+    ``guard_packets`` x ``guard_packet_bytes`` is the evidence floor:
+    when classifying a sampled stream, a flow whose *sampled* volume in
+    a slot falls below this floor is suppressed from the elephant
+    verdict (its threshold/EWMA bookkeeping still runs). One lucky
+    sampled packet from a mouse inverts to N packets' worth of
+    apparent volume; requiring a couple of real observations cuts
+    those false elephants off cheaply.
+    """
+
+    rate: int = 1
+    mode: str = "deterministic"
+    seed: int = 0
+    invert: bool = True
+    guard_packets: int = DEFAULT_GUARD_PACKETS
+    guard_packet_bytes: float = DEFAULT_GUARD_PACKET_BYTES
+
+    def __post_init__(self) -> None:
+        if int(self.rate) != self.rate or self.rate < 1:
+            raise ClassificationError("sampling rate must be an integer >= 1")
+        if self.mode not in SAMPLING_MODES:
+            raise ClassificationError(
+                f"unknown sampling mode {self.mode!r}; "
+                f"choose from {', '.join(SAMPLING_MODES)}"
+            )
+        if self.guard_packets < 0:
+            raise ClassificationError("guard_packets must be >= 0")
+        if self.guard_packet_bytes <= 0:
+            raise ClassificationError("guard_packet_bytes must be positive")
+
+    @property
+    def probability(self) -> float:
+        """Per-packet selection probability p = 1/N."""
+        return 1.0 / self.rate
+
+    @property
+    def applied_rate(self) -> float:
+        """The inversion factor actually applied to byte counts.
+
+        This is what frames and summaries carry as ``sample_rate``: N
+        when inversion is on, else 1.0 (no correction was applied, so
+        downstream must not assume one).
+        """
+        return float(self.rate) if self.invert else 1.0
+
+    @property
+    def evidence_bytes(self) -> float:
+        """Variance-guard floor on a flow's *sampled* bytes per slot."""
+        return self.guard_packets * self.guard_packet_bytes
+
+    @property
+    def is_null(self) -> bool:
+        """True when wrapping a source would change nothing."""
+        return self.rate == 1 and self.mode != "flow-records"
+
+    def wrap(self, source: PacketSource) -> PacketSource:
+        """The sampled view of ``source`` (or ``source`` itself when
+        this spec is a no-op)."""
+        if self.is_null:
+            return source
+        return SampledPacketSource(source, self)
+
+
+#: The no-op policy: every packet observed, no correction.
+UNSAMPLED = SamplingSpec()
+
+
+def _aggregate_flow_records(batch: PacketBatch) -> PacketBatch:
+    """Collapse a batch to one row per flow key, NetFlow-style.
+
+    Bytes are summed per destination key; the record keeps the first
+    sampled packet's timestamp, source, and protocol, and rows are
+    emitted in first-appearance order so time stays monotone.
+    """
+    if batch.num_packets == 0:
+        return batch
+    _, first, inverse = np.unique(
+        batch.destinations, return_index=True, return_inverse=True
+    )
+    volumes = np.zeros(first.size, dtype=batch.wire_bytes.dtype)
+    np.add.at(volumes, inverse, batch.wire_bytes)
+    order = np.argsort(first, kind="stable")
+    first = first[order]
+    return PacketBatch(
+        timestamps=batch.timestamps[first],
+        sources=batch.sources[first],
+        destinations=batch.destinations[first],
+        protocols=batch.protocols[first],
+        wire_bytes=volumes[order],
+        packets_seen=batch.packets_seen,
+    )
+
+
+class SampledPacketSource:
+    """A :class:`PacketSource` showing the sampled view of another.
+
+    Selection is a vectorized mask per batch; surviving rows are
+    sliced out and (when ``spec.invert``) their ``wire_bytes`` are
+    multiplied by N in the original integer dtype. Packets sampled
+    away count toward each batch's ``packets_seen`` (they were scanned
+    but produced no row), so conservation accounting downstream keeps
+    working.
+
+    Counters (reset at each ``batches()`` call): ``packets_offered``
+    rows seen from the inner source, ``packets_selected`` rows kept,
+    ``records_emitted`` rows yielded (differs from selected only in
+    flow-records mode).
+    """
+
+    def __init__(self, source: PacketSource, spec: SamplingSpec) -> None:
+        self.source = source
+        self.spec = spec
+        self.chunk_packets = getattr(source, "chunk_packets", None)
+        self.packets_offered = 0
+        self.packets_selected = 0
+        self.records_emitted = 0
+
+    @property
+    def sample_rate(self) -> float:
+        """The ``sample_rate`` frames built from this source carry."""
+        return self.spec.applied_rate
+
+    def _select(self, batch: PacketBatch, state: dict) -> np.ndarray:
+        spec = self.spec
+        n = batch.num_packets
+        if spec.rate == 1:
+            return np.ones(n, dtype=bool)
+        if spec.mode == "probabilistic":
+            return state["rng"].random(n) < spec.probability
+        counter = state["counter"]
+        mask = (counter + np.arange(n, dtype=np.int64)) % spec.rate == 0
+        state["counter"] = (counter + n) % spec.rate
+        return mask
+
+    def batches(self) -> Iterator[PacketBatch]:
+        spec = self.spec
+        self.packets_offered = 0
+        self.packets_selected = 0
+        self.records_emitted = 0
+        state = {
+            "counter": spec.seed % spec.rate,
+            "rng": np.random.default_rng(spec.seed),
+        }
+        for batch in self.source.batches():
+            self.packets_offered += batch.num_packets
+            mask = self._select(batch, state)
+            if spec.rate > 1:
+                wire = batch.wire_bytes[mask]
+                if spec.invert:
+                    wire = wire * spec.rate
+                batch = PacketBatch(
+                    timestamps=batch.timestamps[mask],
+                    sources=batch.sources[mask],
+                    destinations=batch.destinations[mask],
+                    protocols=batch.protocols[mask],
+                    wire_bytes=wire,
+                    packets_seen=batch.packets_seen,
+                )
+            self.packets_selected += batch.num_packets
+            if spec.mode == "flow-records":
+                batch = _aggregate_flow_records(batch)
+            self.records_emitted += batch.num_packets
+            yield batch

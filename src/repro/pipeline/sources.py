@@ -144,6 +144,12 @@ class SlotFrame:
     the bytes of flows outside the sketch's candidate table and must
     never itself be classified as an elephant. ``None`` (the default)
     means every row is a real flow.
+
+    ``sample_rate`` records the inversion factor already applied to
+    this frame's byte counts by a sampling front-end (see
+    :mod:`repro.pipeline.sampling`): rates are unbiased estimates of
+    N x the observed traffic when it is N > 1. The classifier uses it
+    to size its variance guard; 1.0 means a full packet stream.
     """
 
     slot: int
@@ -151,6 +157,7 @@ class SlotFrame:
     rates: np.ndarray
     population: Sequence[Prefix]
     residual_row: int | None = None
+    sample_rate: float = 1.0
 
     @property
     def num_flows(self) -> int:

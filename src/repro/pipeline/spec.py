@@ -1,0 +1,228 @@
+"""PipelineSpec: one validated description of a pipeline deployment.
+
+Seven PRs of growth left pipeline configuration scattered across
+keyword arguments — ``backend``/``capacity``/``memory_budget`` on one
+layer, ``shards`` on another, ``workers``/``ring_slots`` on a third —
+with the cross-field rules (shards vs workers, capacity vs budget,
+exact vs sketch) re-checked ad hoc at each call site. This module
+consolidates them: a :class:`PipelineSpec` is a frozen dataclass that
+validates every cross-field constraint once, at construction, and the
+entry points (``make_backend``, ``StreamingPipeline``,
+``engine.run_streaming``, ``parallel_ingest``, the CLI) all accept one.
+The old kwargs still work everywhere as thin shims over a spec.
+
+The spec also carries the sampling policy
+(:class:`~repro.pipeline.sampling.SamplingSpec`) and the Bloom
+admission knobs, so a monitor's whole ingest configuration — what it
+samples, what it admits, how it bounds memory, how it parallelises —
+is one value that can be validated, logged, and shipped around.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ClassificationError
+from repro.pipeline.backends import (
+    ADMISSION_NAMES,
+    BACKEND_NAMES,
+    SKETCH_ENGINES,
+    AggregationBackend,
+    capacity_for_budget,
+    make_backend,
+    parse_memory_budget,
+)
+from repro.pipeline.sampling import (
+    UNSAMPLED,
+    SamplingSpec,
+)
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Everything the ingest pipeline needs to configure itself.
+
+    Cross-field rules enforced here (and nowhere else):
+
+    - ``capacity`` and ``memory_budget`` are alternatives; give one.
+    - the exact backend takes neither; sketch backends need one.
+    - ``shards`` (one process, N tables) and ``workers`` (N processes)
+      are alternatives; give one.
+    - admission gating needs an array-engine sketch backend.
+
+    ``memory_budget`` takes bytes or a ``"512k"``-style string; the
+    budget → capacity split accounts for however many partitions the
+    deployment has (shards or workers). ``ring_slots`` is the
+    shared-memory ring depth per worker; ``None`` means the transport
+    default.
+    """
+
+    backend: str = "exact"
+    engine: str = "array"
+    capacity: int | None = None
+    memory_budget: int | str | None = None
+    shards: int = 1
+    workers: int = 1
+    ring_slots: int | None = None
+    seed: int = 0
+    sampling: SamplingSpec = field(default_factory=SamplingSpec)
+    admission: str = "none"
+    admission_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_NAMES:
+            raise ClassificationError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{', '.join(BACKEND_NAMES)}"
+            )
+        if self.engine not in SKETCH_ENGINES:
+            raise ClassificationError(
+                f"unknown sketch engine {self.engine!r}; expected one "
+                f"of {', '.join(SKETCH_ENGINES)}"
+            )
+        if self.admission not in ADMISSION_NAMES:
+            raise ClassificationError(
+                f"unknown admission policy {self.admission!r}; "
+                f"expected one of {', '.join(ADMISSION_NAMES)}"
+            )
+        if self.shards < 1:
+            raise ClassificationError("shards must be >= 1")
+        if self.workers < 1:
+            raise ClassificationError("workers must be >= 1")
+        if self.shards > 1 and self.workers > 1:
+            raise ClassificationError(
+                "--shards and --workers are alternatives: shards "
+                "partition one process's flow table, workers shard "
+                "across processes (each worker is one shard)"
+            )
+        if self.ring_slots is not None and self.ring_slots < 1:
+            raise ClassificationError("ring_slots must be >= 1")
+        if self.capacity is not None and self.memory_budget is not None:
+            raise ClassificationError(
+                "--capacity and --memory-budget are alternatives; "
+                "give one"
+            )
+        if self.capacity is not None and self.capacity < 1:
+            raise ClassificationError("capacity must be >= 1")
+        bounded = (
+            self.capacity is not None or self.memory_budget is not None
+        )
+        if self.backend == "exact" and bounded:
+            raise ClassificationError(
+                "the exact backend tracks every flow; --capacity only "
+                "applies to sketch backends"
+            )
+        if self.backend != "exact" and not bounded:
+            raise ClassificationError(
+                f"backend {self.backend!r} needs --capacity or "
+                "--memory-budget"
+            )
+        if self.admission != "none" and (
+            self.engine != "array"
+            or self.backend not in ("space-saving", "misra-gries", "count-min")
+        ):
+            raise ClassificationError(
+                "admission gating needs an array-engine sketch backend"
+            )
+        if (
+            self.admission_threshold is not None
+            and self.admission_threshold < 0
+        ):
+            raise ClassificationError("admission threshold must be >= 0")
+        if self.sampling is None:
+            object.__setattr__(self, "sampling", UNSAMPLED)
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def partitions(self) -> int:
+        """Flow-table partitions the deployment runs (shards are
+        in-process partitions, each worker process is one shard)."""
+        return max(self.shards, self.workers)
+
+    @property
+    def budget_bytes(self) -> int | None:
+        """The memory budget in bytes, parsed (``None`` when unset)."""
+        if self.memory_budget is None:
+            return None
+        if isinstance(self.memory_budget, int):
+            if self.memory_budget < 1:
+                raise ClassificationError("memory budget must be positive")
+            return self.memory_budget
+        return parse_memory_budget(self.memory_budget)
+
+    @property
+    def resolved_capacity(self) -> int | None:
+        """Tracked-flow bound after the budget → capacity split."""
+        if self.capacity is not None:
+            return self.capacity
+        budget = self.budget_bytes
+        if budget is None:
+            return None
+        return capacity_for_budget(
+            self.backend, budget, shards=self.partitions
+        )
+
+    def replace(self, **changes) -> "PipelineSpec":
+        """A copy with fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    # -- builders ------------------------------------------------------
+
+    def build_backend(self) -> AggregationBackend | None:
+        """The single-process flow-table backend this spec describes.
+
+        Returns ``None`` for the plain exact table (the aggregator's
+        default — callers pass it straight through). Worker processes
+        build their own shard-sized backends instead; see
+        ``parallel_ingest(spec=...)``.
+        """
+        if self.backend == "exact" and self.shards == 1:
+            return None
+        kwargs: dict = {}
+        if self.admission != "none":
+            kwargs["admission"] = self.admission
+            if self.admission_threshold is not None:
+                kwargs["admission_threshold"] = self.admission_threshold
+        return make_backend(
+            self.backend,
+            capacity=self.resolved_capacity,
+            seed=self.seed,
+            shards=self.shards,
+            engine=self.engine,
+            **kwargs,
+        )
+
+    def wrap_source(self, source):
+        """``source`` behind this spec's sampling front-end."""
+        return self.sampling.wrap(source)
+
+    # -- CLI glue ------------------------------------------------------
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "PipelineSpec":
+        """Build a spec from a namespace parsed with
+        :func:`repro.cli.add_pipeline_args` (missing attributes fall
+        back to the field defaults, so partial parsers work)."""
+        sampling = SamplingSpec(
+            rate=getattr(args, "sample_rate", 1),
+            mode=getattr(args, "sample_mode", "deterministic"),
+            seed=getattr(args, "sample_seed", 0),
+            invert=not getattr(args, "no_invert", False),
+        )
+        return cls(
+            backend=getattr(args, "backend", "exact"),
+            engine=getattr(args, "engine", "array"),
+            capacity=getattr(args, "capacity", None),
+            memory_budget=getattr(args, "memory_budget", None),
+            shards=getattr(args, "shards", 1),
+            workers=getattr(args, "workers", 1),
+            ring_slots=getattr(args, "ring_slots", None),
+            seed=getattr(args, "seed", 0),
+            sampling=sampling,
+            admission=getattr(args, "admission", None) or "none",
+            admission_threshold=getattr(
+                args, "admission_threshold", None
+            ),
+        )

@@ -13,6 +13,11 @@ from repro.sketches.array_tables import (
     ArraySpaceSaving,
     BatchUpdate,
 )
+from repro.sketches.bloom import (
+    BloomGatedTable,
+    CountingBloom,
+    gated_table,
+)
 from repro.sketches.compare import (
     SketchRun,
     exact_top_k_per_slot,
@@ -39,8 +44,11 @@ __all__ = [
     "BackendComparison",
     "BackendRun",
     "BatchUpdate",
+    "BloomGatedTable",
     "COMPARISON_COLUMNS",
     "CountMinSketch",
+    "CountingBloom",
+    "gated_table",
     "MisraGries",
     "SampleAndHold",
     "SketchRun",

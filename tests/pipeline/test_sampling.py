@@ -1,0 +1,197 @@
+"""Tests for the packet-sampling front-end (SamplingSpec et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClassificationError
+from repro.pipeline.sampling import (
+    SAMPLING_MODES,
+    UNSAMPLED,
+    SampledPacketSource,
+    SamplingSpec,
+)
+from repro.pipeline.sources import ArrayPacketSource
+
+
+def source_of(n=1000, flows=7, size=100, chunk=256):
+    timestamps = np.arange(n, dtype=float) * 0.01
+    destinations = np.arange(n, dtype=np.int64) % flows
+    wire = np.full(n, size, dtype=np.int64)
+    return ArrayPacketSource(
+        timestamps, destinations, wire, chunk_packets=chunk
+    )
+
+
+def drain(source):
+    batches = list(source.batches())
+    total = sum(int(b.wire_bytes.sum()) for b in batches)
+    rows = sum(b.num_packets for b in batches)
+    return batches, total, rows
+
+
+class TestSamplingSpec:
+    def test_defaults_are_null(self):
+        assert UNSAMPLED.is_null
+        assert UNSAMPLED.rate == 1
+        assert UNSAMPLED.applied_rate == 1.0
+
+    def test_rate_must_be_integer_ge_1(self):
+        with pytest.raises(ClassificationError):
+            SamplingSpec(rate=0)
+        with pytest.raises(ClassificationError):
+            SamplingSpec(rate=-3)
+        with pytest.raises(ClassificationError):
+            SamplingSpec(rate=2.5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ClassificationError, match="sampling mode"):
+            SamplingSpec(rate=10, mode="systematic")
+
+    def test_guard_validation(self):
+        with pytest.raises(ClassificationError):
+            SamplingSpec(guard_packets=-1)
+        with pytest.raises(ClassificationError):
+            SamplingSpec(guard_packet_bytes=0.0)
+
+    def test_probability_and_applied_rate(self):
+        spec = SamplingSpec(rate=100)
+        assert spec.probability == pytest.approx(0.01)
+        assert spec.applied_rate == 100.0
+        assert SamplingSpec(rate=100, invert=False).applied_rate == 1.0
+
+    def test_evidence_bytes(self):
+        spec = SamplingSpec(
+            rate=10, guard_packets=3, guard_packet_bytes=500.0
+        )
+        assert spec.evidence_bytes == 1500.0
+
+    def test_wrap_null_returns_source(self):
+        source = source_of()
+        assert UNSAMPLED.wrap(source) is source
+
+    def test_wrap_flow_records_always_wraps(self):
+        source = source_of()
+        wrapped = SamplingSpec(rate=1, mode="flow-records").wrap(source)
+        assert isinstance(wrapped, SampledPacketSource)
+
+    def test_modes_enumerated(self):
+        assert SAMPLING_MODES == (
+            "deterministic",
+            "probabilistic",
+            "flow-records",
+        )
+
+
+class TestDeterministicSampling:
+    def test_exact_one_in_n_count(self):
+        source = source_of(n=1000)
+        sampled = SamplingSpec(rate=10).wrap(source)
+        _, total, rows = drain(sampled)
+        assert rows == 100
+        assert sampled.packets_offered == 1000
+        assert sampled.packets_selected == 100
+        # uniform sizes: deterministic inversion is exact
+        assert total == 1000 * 100
+
+    def test_phase_from_seed(self):
+        source = source_of(n=20, chunk=20)
+        batches0, _, _ = drain(SamplingSpec(rate=10, seed=0).wrap(source))
+        batches3, _, _ = drain(SamplingSpec(rate=10, seed=3).wrap(source))
+        # seed 0 keeps packets 0, 10; seed 3 keeps 7, 17
+        assert batches0[0].timestamps.tolist() == [0.0, 0.1]
+        assert [round(t, 2) for t in batches3[0].timestamps] == [
+            0.07,
+            0.17,
+        ]
+
+    def test_counter_spans_batches(self):
+        # phase must carry across chunk boundaries: chunk=7, rate=10
+        source = source_of(n=100, chunk=7)
+        _, _, rows = drain(SamplingSpec(rate=10).wrap(source))
+        assert rows == 10
+
+    def test_no_invert_leaves_bytes(self):
+        source = source_of(n=100)
+        spec = SamplingSpec(rate=10, invert=False)
+        sampled = spec.wrap(source)
+        _, total, rows = drain(sampled)
+        assert rows == 10
+        assert total == 10 * 100
+        assert sampled.sample_rate == 1.0
+
+    def test_integer_dtype_preserved(self):
+        source = source_of(n=100)
+        batches, _, _ = drain(SamplingSpec(rate=10).wrap(source))
+        assert batches[0].wire_bytes.dtype == np.int64
+
+    def test_packets_seen_counts_sampled_away(self):
+        source = source_of(n=100, chunk=50)
+        batches, _, _ = drain(SamplingSpec(rate=10).wrap(source))
+        assert [b.packets_seen for b in batches] == [50, 50]
+
+
+class TestProbabilisticSampling:
+    def test_seeded_and_reproducible(self):
+        source = source_of(n=5000)
+        spec = SamplingSpec(rate=10, mode="probabilistic", seed=42)
+        _, total1, rows1 = drain(spec.wrap(source))
+        _, total2, rows2 = drain(spec.wrap(source))
+        assert (total1, rows1) == (total2, rows2)
+
+    def test_unbiased_within_tolerance(self):
+        n, size, rate = 20000, 100, 10
+        source = source_of(n=n, size=size)
+        spec = SamplingSpec(rate=rate, mode="probabilistic", seed=7)
+        _, total, rows = drain(spec.wrap(source))
+        true = n * size
+        # binomial: sd of the estimate is size*rate*sqrt(n p (1-p))
+        sd = size * rate * np.sqrt(n * 0.1 * 0.9)
+        assert abs(total - true) < 5 * sd
+        assert 0 < rows < n
+
+
+class TestFlowRecords:
+    def test_one_record_per_flow_per_batch(self):
+        source = source_of(n=100, flows=4, chunk=100)
+        spec = SamplingSpec(rate=1, mode="flow-records")
+        sampled = spec.wrap(source)
+        batches, total, rows = drain(sampled)
+        assert rows == 4
+        assert sampled.records_emitted == 4
+        assert sampled.packets_selected == 100
+        assert total == 100 * 100  # bytes conserved
+
+    def test_first_appearance_order_and_timestamp(self):
+        timestamps = np.array([1.0, 2.0, 3.0, 4.0])
+        destinations = np.array([9, 5, 9, 5], dtype=np.int64)
+        wire = np.array([10, 20, 30, 40], dtype=np.int64)
+        source = ArrayPacketSource(timestamps, destinations, wire)
+        spec = SamplingSpec(rate=1, mode="flow-records")
+        batches, _, _ = drain(spec.wrap(source))
+        batch = batches[0]
+        assert batch.destinations.tolist() == [9, 5]
+        assert batch.timestamps.tolist() == [1.0, 2.0]
+        assert batch.wire_bytes.tolist() == [40, 60]
+
+    def test_sampled_flow_records_invert(self):
+        # 3 flows, coprime with the rate, so sampling sees all of them
+        source = source_of(n=1000, flows=3, chunk=1000)
+        spec = SamplingSpec(rate=10, mode="flow-records")
+        _, total, rows = drain(spec.wrap(source))
+        assert rows == 3
+        assert total == 1000 * 100
+
+
+class TestCountersAndResets:
+    def test_counters_reset_per_iteration(self):
+        source = source_of(n=100)
+        sampled = SamplingSpec(rate=10).wrap(source)
+        drain(sampled)
+        drain(sampled)
+        assert sampled.packets_offered == 100
+        assert sampled.packets_selected == 10
+
+    def test_chunk_packets_forwarded(self):
+        source = source_of(chunk=123)
+        sampled = SamplingSpec(rate=10).wrap(source)
+        assert sampled.chunk_packets == 123

@@ -1,0 +1,200 @@
+"""Tests for the consolidated PipelineSpec configuration object."""
+
+import argparse
+
+import pytest
+
+from repro.errors import ClassificationError
+from repro.pipeline.backends import (
+    ArraySpaceSavingAggregation,
+    ExactAggregation,
+)
+from repro.pipeline.sampling import SamplingSpec
+from repro.pipeline.sharded import ShardedAggregation
+from repro.pipeline.spec import PipelineSpec
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        spec = PipelineSpec()
+        assert spec.backend == "exact"
+        assert spec.sampling.is_null
+        assert spec.admission == "none"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ClassificationError, match="unknown backend"):
+            PipelineSpec(backend="lossy")
+
+    def test_unknown_engine(self):
+        with pytest.raises(ClassificationError, match="sketch engine"):
+            PipelineSpec(engine="gpu")
+
+    def test_unknown_admission(self):
+        with pytest.raises(ClassificationError, match="admission"):
+            PipelineSpec(admission="cuckoo")
+
+    def test_shards_and_workers_are_alternatives(self):
+        with pytest.raises(ClassificationError, match="alternatives"):
+            PipelineSpec(shards=2, workers=2)
+
+    def test_capacity_and_budget_are_alternatives(self):
+        with pytest.raises(ClassificationError, match="alternatives"):
+            PipelineSpec(
+                backend="space-saving", capacity=64, memory_budget="64k"
+            )
+
+    def test_exact_rejects_capacity(self):
+        with pytest.raises(ClassificationError, match="exact backend"):
+            PipelineSpec(backend="exact", capacity=64)
+
+    def test_sketch_requires_bound(self):
+        with pytest.raises(ClassificationError, match="needs"):
+            PipelineSpec(backend="space-saving")
+
+    def test_admission_needs_array_sketch(self):
+        with pytest.raises(ClassificationError, match="array-engine"):
+            PipelineSpec(backend="exact", admission="bloom")
+        with pytest.raises(ClassificationError, match="array-engine"):
+            PipelineSpec(
+                backend="space-saving",
+                capacity=64,
+                engine="scalar",
+                admission="bloom",
+            )
+        with pytest.raises(ClassificationError, match="array-engine"):
+            PipelineSpec(
+                backend="sample-hold", capacity=64, admission="bloom"
+            )
+
+    def test_bounds_checked(self):
+        with pytest.raises(ClassificationError):
+            PipelineSpec(shards=0)
+        with pytest.raises(ClassificationError):
+            PipelineSpec(workers=0)
+        with pytest.raises(ClassificationError):
+            PipelineSpec(ring_slots=0)
+        with pytest.raises(ClassificationError):
+            PipelineSpec(backend="space-saving", capacity=0)
+        with pytest.raises(ClassificationError):
+            PipelineSpec(admission_threshold=-1.0)
+
+    def test_none_sampling_becomes_unsampled(self):
+        spec = PipelineSpec(sampling=None)
+        assert spec.sampling.is_null
+
+
+class TestDerivedViews:
+    def test_partitions(self):
+        assert PipelineSpec().partitions == 1
+        assert PipelineSpec(shards=4).partitions == 4
+        assert PipelineSpec(workers=3).partitions == 3
+
+    def test_budget_bytes_parses_strings(self):
+        spec = PipelineSpec(backend="space-saving", memory_budget="64k")
+        assert spec.budget_bytes == 64 << 10
+        spec = PipelineSpec(backend="space-saving", memory_budget=4096)
+        assert spec.budget_bytes == 4096
+
+    def test_budget_bytes_rejects_nonpositive_int(self):
+        spec = PipelineSpec(backend="space-saving", memory_budget=0)
+        with pytest.raises(ClassificationError):
+            spec.budget_bytes
+
+    def test_resolved_capacity_passthrough(self):
+        spec = PipelineSpec(backend="space-saving", capacity=64)
+        assert spec.resolved_capacity == 64
+        assert PipelineSpec().resolved_capacity is None
+
+    def test_resolved_capacity_from_budget_counts_partitions(self):
+        one = PipelineSpec(backend="space-saving", memory_budget="256k")
+        split = PipelineSpec(
+            backend="space-saving", memory_budget="256k", workers=4
+        )
+        assert one.resolved_capacity is not None
+        # a budget buys N tables of K/N entries, never N tables of K
+        assert split.resolved_capacity <= one.resolved_capacity
+
+    def test_replace_revalidates(self):
+        spec = PipelineSpec(backend="space-saving", capacity=64)
+        assert spec.replace(capacity=32).capacity == 32
+        with pytest.raises(ClassificationError):
+            spec.replace(backend="exact")
+
+
+class TestBuildBackend:
+    def test_plain_exact_is_none(self):
+        assert PipelineSpec().build_backend() is None
+
+    def test_sharded_exact_builds(self):
+        backend = PipelineSpec(shards=2).build_backend()
+        assert isinstance(backend, ShardedAggregation)
+        assert all(
+            isinstance(shard, ExactAggregation)
+            for shard in backend.shards
+        )
+
+    def test_sketch_builds(self):
+        backend = PipelineSpec(
+            backend="space-saving", capacity=64
+        ).build_backend()
+        assert isinstance(backend, ArraySpaceSavingAggregation)
+        assert backend.capacity == 64
+
+    def test_admission_builds_gated_table(self):
+        backend = PipelineSpec(
+            backend="space-saving",
+            capacity=64,
+            admission="bloom",
+            admission_threshold=1000.0,
+        ).build_backend()
+        assert backend.admission == "bloom"
+        assert backend._table.threshold_bytes == 1000.0
+
+    def test_wrap_source_null(self):
+        marker = object()
+        assert PipelineSpec().wrap_source(marker) is marker
+
+
+class TestFromArgs:
+    def test_empty_namespace_gives_defaults(self):
+        spec = PipelineSpec.from_args(argparse.Namespace())
+        assert spec == PipelineSpec()
+
+    def test_full_namespace(self):
+        ns = argparse.Namespace(
+            backend="space-saving",
+            engine="array",
+            capacity=128,
+            memory_budget=None,
+            shards=1,
+            workers=1,
+            ring_slots=4,
+            seed=9,
+            sample_rate=100,
+            sample_mode="probabilistic",
+            sample_seed=5,
+            no_invert=False,
+            admission="bloom",
+            admission_threshold=2000.0,
+        )
+        spec = PipelineSpec.from_args(ns)
+        assert spec.backend == "space-saving"
+        assert spec.capacity == 128
+        assert spec.ring_slots == 4
+        assert spec.seed == 9
+        assert spec.sampling == SamplingSpec(
+            rate=100, mode="probabilistic", seed=5
+        )
+        assert spec.admission == "bloom"
+        assert spec.admission_threshold == 2000.0
+
+    def test_no_invert_flag(self):
+        ns = argparse.Namespace(sample_rate=10, no_invert=True)
+        spec = PipelineSpec.from_args(ns)
+        assert spec.sampling.rate == 10
+        assert not spec.sampling.invert
+
+    def test_cross_field_errors_surface(self):
+        ns = argparse.Namespace(shards=2, workers=2)
+        with pytest.raises(ClassificationError, match="alternatives"):
+            PipelineSpec.from_args(ns)
