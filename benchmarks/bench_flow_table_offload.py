@@ -1,0 +1,235 @@
+"""Byte coverage of a bounded flow-table offload vs table size F.
+
+The operational payoff of a pragmatic elephant definition is a small
+rule table: install a hardware rule per classified elephant and let
+the mice take the slow path. This bench measures how much traffic such
+a table actually captures as its capacity F varies around the true
+elephant population — the curve the paper's "few flows, most bytes"
+claim predicts should saturate quickly.
+
+A heavy-tailed synthetic capture (persistent elephants over a long
+tail of mice, the same shape as the sampled-recall bench) is streamed
+through the full pipeline; each slot's verdict drives the
+:class:`~repro.analysis.offload.FlowTableSimulator`, with coverage
+scored at slot entry against the exact per-slot byte truth. The sweep
+crosses F in {0.5x, 1x, 2x, 4x} the true elephant count with two
+verdict backends: exact aggregation and a Space-Saving sketch at the
+usual ``4 x`` capacity.
+
+The CI gate: at ``F = 2 x`` true elephants with exact verdicts, byte
+coverage must reach :data:`MIN_COVERAGE_AT_2X` with mean churn below
+:data:`MAX_CHURN_FRACTION` of the table — rules for persistent
+elephants should install once and stay, not flap.
+
+Numbers land in ``benchmarks/reports/`` twice: a human table
+(``bench_flow_table_offload.txt``) and
+``BENCH_flow_table_offload.json`` for the CI artifact trail.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.offload import OffloadSpec, simulate_offload
+from repro.flows.matrix import RateMatrix
+from repro.flows.records import TimeAxis
+from repro.net.prefix import Prefix
+from repro.pipeline import (
+    AggregatingSlotSource,
+    PcapPacketSource,
+    PipelineSpec,
+    StreamingAggregator,
+    StreamingPipeline,
+)
+from repro.routing.lpm import CompiledLpm
+from repro.traffic.packetize import PacketizerConfig, write_pcap
+
+#: The CI gate: pooled byte coverage at F = 2 x true elephants (exact
+#: verdicts), and the churn bound at the same point.
+MIN_COVERAGE_AT_2X = 0.70
+MAX_CHURN_FRACTION = 0.5
+#: Table sizes swept, as multiples of the true elephant count.
+SIZE_FACTORS = (0.5, 1.0, 2.0, 4.0)
+GATED_FACTOR = 2.0
+BACKENDS = ("exact", "space-saving")
+CAPACITY_FACTOR = 4
+
+NUM_ELEPHANTS = 10
+NUM_MICE = 150
+NUM_SLOTS = 6
+SLOT_SECONDS = 60.0
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="module")
+def capture(tmp_path_factory):
+    """Persistent elephants over a long tail of mice, as a pcap."""
+    rng = np.random.default_rng(4242)
+    prefixes = [Prefix.parse(f"10.{i}.0.0/16")
+                for i in range(NUM_ELEPHANTS)]
+    prefixes += [Prefix.parse(f"172.{16 + i // 200}.{i % 200}.0/24")
+                 for i in range(NUM_MICE)]
+    axis = TimeAxis(0.0, SLOT_SECONDS, NUM_SLOTS)
+    rates = np.zeros((len(prefixes), NUM_SLOTS))
+    rates[:NUM_ELEPHANTS] = rng.uniform(2e5, 5e5,
+                                        size=(NUM_ELEPHANTS, NUM_SLOTS))
+    rates[NUM_ELEPHANTS:] = rng.uniform(5e2, 3e3,
+                                        size=(NUM_MICE, NUM_SLOTS))
+    rates[NUM_ELEPHANTS:][rng.random((NUM_MICE, NUM_SLOTS)) < 0.3] = 0.0
+    matrix = RateMatrix(prefixes, axis, rates)
+    path = str(tmp_path_factory.mktemp("offload") / "elephants.pcap")
+    packets = write_pcap(matrix, path, PacketizerConfig(seed=31))
+    return path, list(prefixes), packets
+
+
+def write_bench_json(payload: dict) -> None:
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, "BENCH_flow_table_offload.json")
+    existing = {}
+    if os.path.exists(path):
+        with open(path) as stream:
+            existing = json.load(stream)
+    existing.update(payload)
+    with open(path, "w") as stream:
+        json.dump(existing, stream, indent=2, sort_keys=True)
+
+
+def stream_events(path, prefixes, spec):
+    """Classified slot events for the capture under one backend."""
+    aggregator = StreamingAggregator(
+        CompiledLpm(prefixes), slot_seconds=SLOT_SECONDS, start=0.0,
+        backend=spec.build_backend(),
+    )
+    pipeline = StreamingPipeline(
+        AggregatingSlotSource(PcapPacketSource(path), aggregator)
+    )
+    return pipeline.events()
+
+
+def exact_truth(path, prefixes):
+    """Exact per-slot byte truth and the true elephant population.
+
+    Returns ``(truth, totals, peak_elephants)`` where ``truth`` maps
+    slot → {prefix: bytes} for every active non-residual flow and
+    ``totals`` carries each slot's full byte volume, residual
+    included — the denominators every sketch-backend run is scored
+    against.
+    """
+    truth = {}
+    totals = {}
+    peak = 0
+    spec = PipelineSpec(backend="exact")
+    for event in stream_events(path, prefixes, spec):
+        frame = event.frame
+        slot_bytes = {}
+        for row, rate in enumerate(frame.rates.tolist()):
+            if row == frame.residual_row or rate <= 0.0:
+                continue
+            slot_bytes[frame.population[row]] = (
+                rate * SLOT_SECONDS / 8.0
+            )
+        truth[frame.slot] = slot_bytes
+        totals[frame.slot] = (
+            float(frame.rates.sum()) * SLOT_SECONDS / 8.0
+        )
+        peak = max(peak, len(event.verdict.elephants()))
+    return truth, totals, peak
+
+
+def test_offload_coverage_sweep(capture, report_writer):
+    """Coverage vs table size for exact and sketch verdicts."""
+    path, prefixes, packets = capture
+    truth, totals, true_elephants = exact_truth(path, prefixes)
+    assert true_elephants > 0
+
+    specs = {
+        "exact": PipelineSpec(backend="exact"),
+        "space-saving": PipelineSpec(
+            backend="space-saving",
+            capacity=CAPACITY_FACTOR * true_elephants,
+        ),
+    }
+    reports = {}
+    for backend in BACKENDS:
+        for factor in SIZE_FACTORS:
+            table_size = max(1, round(factor * true_elephants))
+            report = simulate_offload(
+                stream_events(path, prefixes, specs[backend]),
+                OffloadSpec(table_size=table_size),
+                SLOT_SECONDS,
+                truth=truth,
+                truth_totals=totals,
+            )
+            reports[(backend, factor)] = report
+
+    lines = [
+        f"capture: {packets} packets, {len(prefixes)} prefixes, "
+        f"{NUM_SLOTS} slots",
+        f"exact run: peak {true_elephants} elephants/slot; sketch at "
+        f"K = {CAPACITY_FACTOR} x {true_elephants}",
+        "",
+        "backend      | F/true | F    | coverage | occupancy | churn",
+    ]
+    for backend in BACKENDS:
+        for factor in SIZE_FACTORS:
+            report = reports[(backend, factor)]
+            lines.append(
+                f"{backend:12s} | {factor:6.1f} | "
+                f"{report.spec.table_size:4d} | "
+                f"{report.byte_coverage:8.3f} | "
+                f"{report.mean_occupancy:9.2f} | "
+                f"{report.mean_churn:5.2f}"
+            )
+    gated = reports[("exact", GATED_FACTOR)]
+    lines += [
+        "",
+        f"gate: coverage >= {MIN_COVERAGE_AT_2X} at F = "
+        f"{GATED_FACTOR} x true elephants (exact verdicts), churn "
+        f"<= {MAX_CHURN_FRACTION} x F",
+        f"at the gate: coverage {gated.byte_coverage:.3f}, "
+        f"mean churn {gated.mean_churn:.2f} over F = "
+        f"{gated.spec.table_size}",
+    ]
+    report_writer("bench_flow_table_offload", "\n".join(lines))
+    write_bench_json({"flow_table_offload": {
+        "true_elephants": true_elephants,
+        "sketch_capacity": CAPACITY_FACTOR * true_elephants,
+        "curve": {
+            backend: {
+                str(factor): {
+                    "table_size": reports[(backend, factor)].spec.table_size,
+                    "coverage": round(
+                        reports[(backend, factor)].byte_coverage, 4
+                    ),
+                    "mean_occupancy": round(
+                        reports[(backend, factor)].mean_occupancy, 2
+                    ),
+                    "mean_churn": round(
+                        reports[(backend, factor)].mean_churn, 2
+                    ),
+                }
+                for factor in SIZE_FACTORS
+            }
+            for backend in BACKENDS
+        },
+        "gated_factor": GATED_FACTOR,
+        "min_coverage_gate": MIN_COVERAGE_AT_2X,
+        "max_churn_fraction": MAX_CHURN_FRACTION,
+    }})
+
+    # the gate: a table twice the elephant population captures the
+    # bulk of the bytes without flapping
+    assert gated.byte_coverage >= MIN_COVERAGE_AT_2X
+    assert gated.mean_churn <= MAX_CHURN_FRACTION * gated.spec.table_size
+    # the curve is monotone in F for each backend: more table never
+    # covers fewer bytes
+    for backend in BACKENDS:
+        curve = [reports[(backend, f)].byte_coverage
+                 for f in SIZE_FACTORS]
+        assert curve == sorted(curve)
+    # sketch verdicts track exact verdicts closely at the gated size
+    sketch = reports[("space-saving", GATED_FACTOR)]
+    assert sketch.byte_coverage >= MIN_COVERAGE_AT_2X - 0.05

@@ -14,6 +14,15 @@ from repro.analysis.holding import (
     busy_period_result,
     holding_time_ratio,
 )
+from repro.analysis.offload import (
+    DEFAULT_COOLDOWN_SLOTS,
+    EVICTION_POLICIES,
+    FlowTableSimulator,
+    OffloadReport,
+    OffloadSlot,
+    OffloadSpec,
+    simulate_offload,
+)
 from repro.analysis.persistence import (
     PersistenceCurve,
     persistence_curve,
@@ -31,16 +40,23 @@ __all__ = [
     "BusyPeriod",
     "ChurnReport",
     "DEFAULT_BUSY_HOURS",
+    "DEFAULT_COOLDOWN_SLOTS",
+    "EVICTION_POLICIES",
     "ElephantSeries",
     "ElephantSeriesBuilder",
     "FIG1C_MAX_SLOTS",
+    "FlowTableSimulator",
     "HoldingTimeAnalysis",
+    "OffloadReport",
+    "OffloadSlot",
+    "OffloadSpec",
     "OriginTierReport",
     "PersistenceCurve",
     "PrefixLengthReport",
     "busy_period_result",
     "churn_reduction",
     "find_busy_period",
+    "simulate_offload",
     "format_paper_comparison",
     "format_series_summary",
     "format_table",

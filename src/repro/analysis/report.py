@@ -9,8 +9,11 @@ from __future__ import annotations
 from typing import Sequence
 
 
-def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
-                 title: str | None = None) -> str:
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
     """Render an aligned fixed-width table.
 
     Numbers are formatted compactly; every column is sized to its widest
@@ -23,8 +26,9 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
             widths[index] = max(widths[index], len(cell))
 
     def line(cells: Sequence[str]) -> str:
-        return "  ".join(cell.rjust(width)
-                         for cell, width in zip(cells, widths))
+        return "  ".join(
+            cell.rjust(width) for cell, width in zip(cells, widths)
+        )
 
     parts = []
     if title:
@@ -54,8 +58,10 @@ def format_series_summary(name: str, values: Sequence[float]) -> str:
     lowest = min(values)
     highest = max(values)
     mean = sum(values) / len(values)
-    return (f"{name}: min={_cell(float(lowest))} mean={_cell(float(mean))} "
-            f"max={_cell(float(highest))} n={len(values)}")
+    return (
+        f"{name}: min={_cell(float(lowest))} mean={_cell(float(mean))} "
+        f"max={_cell(float(highest))} n={len(values)}"
+    )
 
 
 def format_paper_comparison(rows: Sequence[tuple[str, str, str]]) -> str:

@@ -19,8 +19,22 @@ Commands:
   for monitor connections, merge and classify slots as they arrive.
 - ``query``    — ask a running ``collect`` daemon for its merged state
   (current elephants, residual fraction, skew, monitor liveness).
+- ``offload``  — replay a capture's per-slot verdicts against a
+  bounded rule table of size F (the flow-table offload evaluation):
+  occupancy, byte coverage, and rule churn per slot.
 - ``figures``  — run the full two-link paper experiment and render
   Figure 1(a)–(c) as ASCII charts.
+
+Packet inputs are named by a
+:class:`~repro.pipeline.spec.SourceSpec`: a pcap capture, a
+``timestamp,destination,wire_bytes`` packet csv, or a floodns-shaped
+``flow_info.csv`` flow-record export — any command that takes a
+capture takes all three. ``stream --flow-csv-out`` writes that same
+flow-record shape back out, so a run can be replayed (or handed to
+another tool) without the original capture. Every ``--json`` summary
+embeds the shared result envelope
+(:func:`~repro.distributed.collector.result_envelope`), so
+``stream``/``merge``/``query``/``offload`` agree on one schema.
 
 The CLI is a thin veneer over the library; anything it does is three
 lines of Python away.
@@ -37,6 +51,12 @@ from typing import Sequence
 
 from repro.analysis.elephants import ElephantSeries
 from repro.analysis.holding import HoldingTimeAnalysis
+from repro.analysis.offload import (
+    DEFAULT_COOLDOWN_SLOTS,
+    EVICTION_POLICIES,
+    FlowTableSimulator,
+    OffloadSpec,
+)
 from repro.analysis.report import format_table
 from repro.core.engine import (
     ClassificationEngine,
@@ -50,6 +70,7 @@ from repro.distributed import (
     elephant_entries,
     load_summaries,
     parallel_ingest,
+    result_envelope,
     save_summaries,
 )
 from repro.distributed.service import (
@@ -65,6 +86,11 @@ from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import Figure1a, Figure1b, Figure1c
 from repro.experiments.runner import run_paper_experiment
+from repro.flows.interchange import (
+    FlowInfoRecord,
+    slot_flow_records,
+    write_flow_records,
+)
 from repro.flows.matrix import RateMatrix
 from repro.net.prefix import Prefix
 from repro.pipeline.aggregator import (
@@ -82,13 +108,8 @@ from repro.pipeline.backends import (
 )
 from repro.pipeline.engine import StreamingPipeline
 from repro.pipeline.sampling import SAMPLING_MODES
-from repro.pipeline.spec import PipelineSpec
-from repro.pipeline.sources import (
-    CsvPacketSource,
-    MatrixSlotSource,
-    PcapPacketSource,
-    SlotSource,
-)
+from repro.pipeline.spec import PipelineSpec, SourceSpec
+from repro.pipeline.sources import MatrixSlotSource, SlotSource
 from repro.routing.lpm import CompiledLpm, FixedLengthResolver
 from repro.traffic.scenarios import east_coast_link, west_coast_link
 
@@ -166,6 +187,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write per-slot summaries (.npz) for `repro merge`",
+    )
+    stream.add_argument(
+        "--flow-csv-out",
+        metavar="FILE",
+        default=None,
+        help="export one flow_info.csv record per (flow, slot); "
+        "the export replays through `repro stream` (or any "
+        "other command taking a capture) without the "
+        "original input",
     )
     stream.add_argument(
         "--connect",
@@ -295,6 +325,61 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_output_options(
         query, quiet=None, json_help="print the raw JSON report"
+    )
+
+    offload = commands.add_parser(
+        "offload",
+        help="evaluate a rule-table offload against the verdicts",
+    )
+    offload.add_argument(
+        "input",
+        help=".pcap capture, flow-record .csv, or a "
+        ".npz/.csv rate matrix to replay",
+    )
+    _add_classifier_options(offload)
+    offload.add_argument(
+        "--slot-seconds",
+        type=float,
+        default=60.0,
+        help="slot length for packet inputs (seconds)",
+    )
+    offload.add_argument(
+        "--rib",
+        metavar="FILE",
+        help="prefix file (one CIDR per line) used as "
+        "LPM flow keys for packet inputs",
+    )
+    offload.add_argument(
+        "--prefix-length",
+        type=int,
+        default=16,
+        help="fixed-length flow granularity when no --rib is given",
+    )
+    add_pipeline_args(offload)
+    offload.add_argument(
+        "--table-size",
+        type=int,
+        required=True,
+        metavar="F",
+        help="rule-table capacity F (0 is the install-nothing "
+        "control case)",
+    )
+    offload.add_argument(
+        "--eviction",
+        choices=EVICTION_POLICIES,
+        default="lru-idle",
+        help="victim policy when an elephant wants a rule "
+        "and the table is full",
+    )
+    offload.add_argument(
+        "--cooldown",
+        type=int,
+        default=DEFAULT_COOLDOWN_SLOTS,
+        metavar="SLOTS",
+        help="slots a rule survives without an elephant refresh",
+    )
+    _add_output_options(
+        offload, quiet="suppress the per-slot table lines"
     )
 
     figures = commands.add_parser(
@@ -630,10 +715,13 @@ def _load_matrix(path: str) -> RateMatrix:
 
 
 def _packet_input(args: argparse.Namespace):
-    """The packet source + resolver behind ``args.input``.
+    """The input's :class:`SourceSpec` + resolver behind ``args.input``.
 
     Returns ``None`` when the input is a rate-matrix artefact (slot
-    altitude — there are no packets to process).
+    altitude — there are no packets to process). Otherwise the path is
+    classified into a spec (pcap capture, packet csv, or flow-record
+    csv — a ``flow_info.csv`` export is accepted anywhere a pcap is)
+    and paired with the flow-key resolver the routing flags describe.
     """
     path = args.input
     if path.endswith(".npz"):
@@ -643,7 +731,6 @@ def _packet_input(args: argparse.Namespace):
             header = stream.readline()
         if header.startswith("prefix"):
             return None
-        packets = CsvPacketSource(path)
     else:
         # fail on an unreadable capture here, not mid-stream
         try:
@@ -653,26 +740,28 @@ def _packet_input(args: argparse.Namespace):
             raise ReproError(
                 f"cannot read capture {path!r}: {exc}"
             ) from exc
-        packets = PcapPacketSource(path)
+    source = SourceSpec.from_path(path)
     if args.rib:
         resolver = _load_rib_prefixes(args.rib)
     else:
         resolver = FixedLengthResolver(args.prefix_length)
-    return packets, resolver
+    return source, resolver
 
 
 def _stream_source(
     args: argparse.Namespace,
     spec: PipelineSpec,
     backend: AggregationBackend | None,
-) -> tuple[SlotSource, StreamingAggregator | None]:
+) -> tuple[SlotSource, StreamingAggregator | None, PipelineSpec]:
     """Build the slot source (and aggregator, for packet inputs).
 
-    For packet inputs the backend bounds the aggregator's flow table
-    and the spec's sampling front-end thins the packet stream; for
-    matrix replays the caller interposes the backend at the slot
-    level, and sampling is rejected (a matrix has no packets to
-    sample).
+    For packet inputs the input's :class:`SourceSpec` is attached to
+    the pipeline spec (the returned spec carries it, so ``describe()``
+    names the input) and opened through ``spec.open_source()`` — the
+    backend bounds the aggregator's flow table and the spec's sampling
+    front-end thins the packet stream. For matrix replays the caller
+    interposes the backend at the slot level, and sampling is rejected
+    (a matrix has no packets to sample).
     """
     packet_input = _packet_input(args)
     if packet_input is None:
@@ -681,8 +770,9 @@ def _stream_source(
                 "--sample-rate/--sample-mode apply to packet inputs; "
                 "a rate-matrix replay has no packets to sample"
             )
-        return MatrixSlotSource(_load_matrix(args.input)), None
-    packets, resolver = packet_input
+        return MatrixSlotSource(_load_matrix(args.input)), None, spec
+    source_spec, resolver = packet_input
+    spec = spec.replace(source=source_spec)
     aggregator = StreamingAggregator(
         resolver,
         slot_seconds=args.slot_seconds,
@@ -690,8 +780,9 @@ def _stream_source(
         sample_rate=spec.sampling.applied_rate,
     )
     return (
-        AggregatingSlotSource(spec.wrap_source(packets), aggregator),
+        AggregatingSlotSource(spec.open_source(), aggregator),
         aggregator,
+        spec,
     )
 
 
@@ -755,13 +846,15 @@ def _cmd_stream_parallel(
     packet_input = _packet_input(args)
     if packet_input is None:
         raise ReproError(
-            "--workers needs a packet input (pcap capture or packet "
-            "csv); matrix replays have no packets to partition"
+            "--workers needs a packet input (pcap capture, packet "
+            "csv, or flow-record csv); matrix replays have no "
+            "packets to partition"
         )
-    packets, resolver = packet_input
+    source_spec, resolver = packet_input
+    spec = spec.replace(source=source_spec)
     capacity = spec.resolved_capacity
     ingest = parallel_ingest(
-        packets,
+        None,
         resolver,
         slot_seconds=args.slot_seconds,
         spec=spec,
@@ -775,8 +868,22 @@ def _cmd_stream_parallel(
         config=_engine_config(args),
     )
     slots = 0
+    slot_entries: list[list[dict[str, object]]] = []
+    flow_rows: list[FlowInfoRecord] = []
     for event in collector.events():
         slots += 1
+        if args.json:
+            slot_entries.append(
+                elephant_entries(event.frame, event.verdict)
+            )
+        if args.flow_csv_out is not None:
+            flow_rows.extend(
+                slot_flow_records(
+                    event.frame,
+                    args.slot_seconds,
+                    first_flow_id=len(flow_rows),
+                )
+            )
         if not (args.quiet or args.json):
             _print_slot_line(event)
     if args.summary_out is not None:
@@ -810,6 +917,16 @@ def _cmd_stream_parallel(
         summary["capacity"] = capacity
     if args.summary_out is not None:
         summary["summary_out"] = args.summary_out
+    if args.flow_csv_out is not None:
+        summary["flow_csv_out"] = args.flow_csv_out
+        summary["flow_records_written"] = write_flow_records(
+            args.flow_csv_out, flow_rows
+        )
+    if args.json:
+        summary = {
+            **result_envelope("stream", spec.describe(), slot_entries),
+            **summary,
+        }
     if args.connect is not None:
         # The fleet's summaries already met at the in-process
         # collector; ship the merged run to the remote daemon as one
@@ -837,7 +954,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if spec.workers > 1:
         return _cmd_stream_parallel(args, spec, scheme, feature)
     backend = spec.build_backend()
-    source, aggregator = _stream_source(args, spec, backend)
+    source, aggregator, spec = _stream_source(args, spec, backend)
     pipeline = StreamingPipeline(
         source,
         scheme=scheme,
@@ -860,8 +977,22 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             ) from exc
     slots = 0
     summaries: list[SlotSummary] = []
+    slot_entries: list[list[dict[str, object]]] = []
+    flow_rows: list[FlowInfoRecord] = []
     for event in pipeline.events():
         slots += 1
+        if args.json:
+            slot_entries.append(
+                elephant_entries(event.frame, event.verdict)
+            )
+        if args.flow_csv_out is not None:
+            flow_rows.extend(
+                slot_flow_records(
+                    event.frame,
+                    source.slot_seconds,
+                    first_flow_id=len(flow_rows),
+                )
+            )
         if args.summary_out is not None or client is not None:
             record = SlotSummary.from_frame(
                 event.frame,
@@ -932,6 +1063,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         )
     if args.summary_out is not None:
         summary["summary_out"] = args.summary_out
+    if args.flow_csv_out is not None:
+        summary["flow_csv_out"] = args.flow_csv_out
+        summary["flow_records_written"] = write_flow_records(
+            args.flow_csv_out, flow_rows
+        )
     if client is not None:
         summary.update(
             {
@@ -941,6 +1077,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 "skipped": client.skipped,
             }
         )
+    if args.json:
+        summary = {
+            **result_envelope("stream", spec.describe(), slot_entries),
+            **summary,
+        }
     _print_summary(summary, args.json, "stream summary")
     return 0
 
@@ -997,10 +1138,22 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     if skewed:
         summary["clock_skew_seconds"] = skewed
     if args.json:
-        # the same helper the live service serialises with, so
+        # the same envelope the live service serialises with, so
         # `repro query --json` and `repro merge --json` agree exactly
-        summary["elephants"] = slot_entries[-1]
-        summary["elephants_by_slot"] = slot_entries
+        summary = {
+            **result_envelope(
+                "merge",
+                {
+                    "monitors": collector.num_monitors,
+                    "k": args.k,
+                    "fill_gaps": args.fill_gaps,
+                    "scheme": args.scheme,
+                    "feature": args.feature,
+                },
+                slot_entries,
+            ),
+            **summary,
+        }
     _print_summary(summary, args.json, "merge summary")
     return 0
 
@@ -1108,6 +1261,90 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_offload(args: argparse.Namespace) -> int:
+    """``repro offload``: verdicts → rule-table dynamics.
+
+    Classifies the input exactly like ``repro stream`` (same spec,
+    same resolver flags) and replays every slot's verdict against a
+    bounded rule table, reporting occupancy, byte coverage, and churn.
+    """
+    scheme, feature = _scheme_and_feature(args)
+    spec = PipelineSpec.from_args(args)
+    if spec.workers > 1:
+        raise ReproError(
+            "offload evaluation replays one verdict stream; drop "
+            "--workers (the table itself is the bottleneck under "
+            "study, not ingestion)"
+        )
+    offload_spec = OffloadSpec(
+        table_size=args.table_size,
+        eviction=args.eviction,
+        cooldown=args.cooldown,
+    )
+    backend = spec.build_backend()
+    source, aggregator, spec = _stream_source(args, spec, backend)
+    simulator = FlowTableSimulator(offload_spec, source.slot_seconds)
+    pipeline = StreamingPipeline(
+        source,
+        scheme=scheme,
+        feature=feature,
+        config=_engine_config(args),
+        backend=(backend if aggregator is None else None),
+        sampling=spec.sampling,
+    )
+    slots = 0
+    slot_entries: list[list[dict[str, object]]] = []
+    for event in pipeline.events():
+        slots += 1
+        record = simulator.observe(event.frame, event.verdict)
+        if args.json:
+            slot_entries.append(
+                elephant_entries(event.frame, event.verdict)
+            )
+        if args.quiet or args.json:
+            continue
+        print(
+            f"slot {record.slot:4d}  rules={record.occupancy:4d}  "
+            f"coverage={record.coverage:.2f}  "
+            f"installs={record.installs:3d}  "
+            f"evicted={record.evictions:3d}  "
+            f"expired={record.expirations:3d}  "
+            f"rejected={record.rejected:3d}"
+        )
+    if slots == 0:
+        print("no slots in input", file=sys.stderr)
+        return 1
+    report = simulator.report()
+    if args.json:
+        summary = result_envelope(
+            "offload", spec.describe(), slot_entries
+        )
+        summary["offload"] = report.as_dict()
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["run", pipeline.label],
+                ["table size (F)", offload_spec.table_size],
+                ["eviction", offload_spec.eviction],
+                ["cooldown (slots)", offload_spec.cooldown],
+                ["num slots", report.num_slots],
+                ["mean occupancy", report.mean_occupancy],
+                ["byte coverage", f"{report.byte_coverage:.3f}"],
+                ["mean churn/slot", report.mean_churn],
+                ["installs", report.installs],
+                ["evictions", report.evictions],
+                ["expirations", report.expirations],
+                ["rejected installs", report.rejected],
+            ],
+            title="offload summary",
+        )
+    )
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     run = run_paper_experiment(ExperimentConfig(scale=args.scale))
     print(Figure1a.from_run(run).render())
@@ -1133,6 +1370,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "merge": _cmd_merge,
         "collect": _cmd_collect,
         "query": _cmd_query,
+        "offload": _cmd_offload,
         "figures": _cmd_figures,
     }
     try:

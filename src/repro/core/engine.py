@@ -144,6 +144,12 @@ class ClassificationEngine:
                     "give run_streaming a spec or the legacy "
                     "backend/workers kwargs, not both"
                 )
+            if spec.source is not None:
+                raise ClassificationError(
+                    "run_streaming replays this engine's matrix; a "
+                    "spec with source= belongs to the packet entry "
+                    "points (spec.open_source, parallel_ingest)"
+                )
             workers = spec.workers
             if workers == 1:
                 backend = spec.build_backend()

@@ -20,9 +20,11 @@ whose clocks drifted past a slot boundary.
 """
 
 from repro.distributed.collector import (
+    RESULT_SCHEMA,
     Collector,
     MergedSlotSource,
     elephant_entries,
+    result_envelope,
 )
 from repro.distributed.framing import (
     FrameDecoder,
@@ -78,6 +80,7 @@ __all__ = [
     "MergedSlotSource",
     "MonitorClient",
     "ParallelIngestResult",
+    "RESULT_SCHEMA",
     "RingConsumer",
     "RingSpec",
     "RingWriter",
@@ -100,5 +103,6 @@ __all__ = [
     "parse_address",
     "publish_summaries",
     "query_service",
+    "result_envelope",
     "save_summaries",
 ]

@@ -40,6 +40,50 @@ from repro.pipeline.engine import StreamEvent, StreamingPipeline, run_stream
 from repro.pipeline.sources import SlotFrame
 
 
+#: Version tag carried by every JSON result envelope. Bump when the
+#: envelope's field contract changes shape (adding fields is not a
+#: bump; renaming or re-typing them is).
+RESULT_SCHEMA = "repro.result/1"
+
+
+def result_envelope(
+    command: str,
+    spec: dict[str, object],
+    slot_entries: Sequence[list[dict[str, object]]],
+) -> dict[str, object]:
+    """The versioned result envelope every ``--json`` surface shares.
+
+    ``repro stream --json``, ``repro merge --json``, ``repro query
+    --json`` (via the live service's reports) and ``repro offload
+    --json`` all embed this same structure, built from the same
+    :func:`elephant_entries` rows, so any consumer reads one schema
+    regardless of which command produced the answer — the contract the
+    cross-command regression test locks field for field.
+
+    ``spec`` is the producing command's configuration facts (e.g.
+    :meth:`~repro.pipeline.spec.PipelineSpec.describe` output);
+    ``slot_entries`` is the per-slot :func:`elephant_entries` lists in
+    slot order. The derived ``series`` block is computed here from the
+    entries alone, so every producer agrees on it by construction.
+    """
+    entries = [list(slot) for slot in slot_entries]
+    counts = [len(slot) for slot in entries]
+    return {
+        "schema": RESULT_SCHEMA,
+        "command": command,
+        "spec": dict(spec),
+        "elephants": entries[-1] if entries else [],
+        "elephants_by_slot": entries,
+        "series": {
+            "num_slots": len(entries),
+            "elephants_per_slot": counts,
+            "mean_elephants_per_slot": (
+                sum(counts) / len(counts) if counts else 0.0
+            ),
+        },
+    }
+
+
 def elephant_entries(
     frame: SlotFrame, verdict: SlotVerdict
 ) -> list[dict[str, object]]:
@@ -51,11 +95,17 @@ def elephant_entries(
     service's ``repro query`` replies, so the two paths answer "which
     flows are elephants right now" with byte-identical JSON for the
     same summaries — the contract the regression tests lock down.
+
+    Rates are rounded to micro-bit/s here, at the one serialization
+    point: producers that reach the same slot through different float
+    summation orders (a sharded ingest, a merge of per-monitor
+    summaries) differ at ~1e-9 relative, and the envelope promises
+    field-for-field equality, not equality-up-to-noise.
     """
     entries = [
         {
             "prefix": str(frame.population[row]),
-            "rate_bps": float(frame.rates[row]),
+            "rate_bps": round(float(frame.rates[row]), 6),
         }
         for row in verdict.elephants().tolist()
         if row != frame.residual_row
@@ -208,4 +258,10 @@ class Collector:
         )
 
 
-__all__ = ["Collector", "MergedSlotSource", "elephant_entries"]
+__all__ = [
+    "Collector",
+    "MergedSlotSource",
+    "RESULT_SCHEMA",
+    "elephant_entries",
+    "result_envelope",
+]

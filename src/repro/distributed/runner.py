@@ -472,7 +472,7 @@ class _Fleet:
 
 
 def parallel_ingest(
-    source: PacketSource,
+    source: PacketSource | None,
     resolver: "PrefixResolver",
     workers: int | None = None,
     slot_seconds: float = 60.0,
@@ -500,8 +500,11 @@ def parallel_ingest(
     its backend/capacity/admission knobs build the per-worker tables,
     its sampling policy wraps ``source`` in the reader process (the
     serial stage — one thinned stream feeds the whole fleet), and its
-    ``sample_rate`` stamps every summary the workers ship. The legacy
-    kwargs remain as shims; give one or the other.
+    ``sample_rate`` stamps every summary the workers ship. A spec that
+    also names its input (``source=SourceSpec(...)``) replaces the
+    ``source`` argument outright — pass ``source=None`` then; giving
+    both is an error, the same mixing rule the other fields follow.
+    The legacy kwargs remain as shims; give one or the other.
 
     ``ring_slots`` bounds the batches in flight per worker (the reader
     blocks when a ring is full); ``ring_slot_packets`` sizes each slot
@@ -518,6 +521,20 @@ def parallel_ingest(
             raise ClassificationError(
                 "give parallel_ingest a spec or the legacy "
                 "workers/backend/capacity kwargs, not both"
+            )
+        if source is None:
+            # the spec names the input; open it raw — the sampling
+            # wrap below is the one thinning stage for the whole fleet
+            if spec.source is None:
+                raise ClassificationError(
+                    "parallel_ingest needs a packet source: pass one, "
+                    "or a spec with source=SourceSpec(...)"
+                )
+            source = spec.source.open()
+        elif spec.source is not None:
+            raise ClassificationError(
+                "give parallel_ingest a source or a spec with "
+                "source=, not both"
             )
         workers = spec.partitions
         backend = spec.backend
@@ -536,6 +553,11 @@ def parallel_ingest(
             admission_threshold=spec.admission_threshold,
         )
     else:
+        if source is None:
+            raise ClassificationError(
+                "parallel_ingest needs a packet source: pass one, or "
+                "a spec with source=SourceSpec(...)"
+            )
         worker_spec = WorkerSpec(backend=backend, capacity=capacity, seed=seed)
     if ring_slots is None:
         ring_slots = DEFAULT_RING_SLOTS

@@ -50,7 +50,11 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.core.engine import EngineConfig, Feature, Scheme
-from repro.distributed.collector import MergedSlotSource, elephant_entries
+from repro.distributed.collector import (
+    MergedSlotSource,
+    elephant_entries,
+    result_envelope,
+)
 from repro.distributed.framing import (
     KIND_ACK,
     KIND_BYE,
@@ -284,24 +288,41 @@ class LiveLink:
         }
 
     def report(self) -> dict[str, object]:
-        """The query-visible state of this link."""
-        return {
-            "link": self.name,
-            "slot_seconds": self.slot_seconds,
-            "slots": self.slots_sealed,
-            "next_cell": self.next_cell,
-            "pending_cells": sorted(self._pending),
-            "elephants": (
-                self._slot_entries[-1] if self._slot_entries else []
-            ),
-            "elephants_by_slot": self._slot_entries,
-            "residual_fraction": (
-                self._residual_total / self._bytes_total
-                if self._bytes_total
-                else 0.0
-            ),
-            "skew_estimate": self.skew_estimate(),
-        }
+        """The query-visible state of this link.
+
+        The reply is the shared result envelope
+        (:func:`~repro.distributed.collector.result_envelope` —
+        ``schema``/``spec``/``elephants``/``elephants_by_slot``/
+        ``series``, identical field for field to what ``repro
+        stream/merge/offload --json`` emit for the same slots) plus
+        the service-only liveness facts.
+        """
+        report = result_envelope(
+            "query",
+            {
+                "scheme": self.scheme.value,
+                "feature": self.feature.value,
+                "k": self.k,
+                "fill_gaps": self.fill_gaps,
+            },
+            self._slot_entries,
+        )
+        report.update(
+            {
+                "link": self.name,
+                "slot_seconds": self.slot_seconds,
+                "slots": self.slots_sealed,
+                "next_cell": self.next_cell,
+                "pending_cells": sorted(self._pending),
+                "residual_fraction": (
+                    self._residual_total / self._bytes_total
+                    if self._bytes_total
+                    else 0.0
+                ),
+                "skew_estimate": self.skew_estimate(),
+            }
+        )
+        return report
 
 
 @dataclass

@@ -11,6 +11,14 @@ from repro.flows.granularity import (
     aggregate_origin_as,
     granularity_sweep,
 )
+from repro.flows.interchange import (
+    FLOW_INFO_COLUMNS,
+    FlowInfoRecord,
+    FlowRecordSource,
+    read_flow_records,
+    slot_flow_records,
+    write_flow_records,
+)
 from repro.flows.matrix import RateMatrix
 from repro.flows.records import DEFAULT_SLOT_SECONDS, FlowRecord, TimeAxis
 
@@ -18,12 +26,18 @@ __all__ = [
     "AggregationStats",
     "AsAggregation",
     "DEFAULT_SLOT_SECONDS",
+    "FLOW_INFO_COLUMNS",
     "FlowAggregator",
+    "FlowInfoRecord",
     "FlowRecord",
+    "FlowRecordSource",
     "RateMatrix",
     "TimeAxis",
     "aggregate_fixed_length",
     "aggregate_origin_as",
     "aggregate_pcap",
     "granularity_sweep",
+    "read_flow_records",
+    "slot_flow_records",
+    "write_flow_records",
 ]

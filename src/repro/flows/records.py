@@ -52,7 +52,8 @@ class TimeAxis:
         """Slot index containing ``timestamp``; raises when outside."""
         if not self.start <= timestamp < self.end:
             raise ClassificationError(
-                f"timestamp {timestamp} outside axis [{self.start}, {self.end})"
+                f"timestamp {timestamp} outside axis "
+                f"[{self.start}, {self.end})"
             )
         return int((timestamp - self.start) // self.slot_seconds)
 
@@ -74,8 +75,9 @@ class TimeAxis:
         self._check_slot(first_slot)
         if first_slot + num_slots > self.num_slots:
             raise ClassificationError("window extends past the axis")
-        return TimeAxis(self.slot_start(first_slot), self.slot_seconds,
-                        num_slots)
+        return TimeAxis(
+            self.slot_start(first_slot), self.slot_seconds, num_slots
+        )
 
     def rebin(self, factor: int) -> "TimeAxis":
         """A coarser axis merging ``factor`` slots into one.
@@ -88,7 +90,9 @@ class TimeAxis:
         coarse_slots = self.num_slots // factor
         if coarse_slots == 0:
             raise ClassificationError("rebin factor exceeds axis length")
-        return TimeAxis(self.start, self.slot_seconds * factor, coarse_slots)
+        return TimeAxis(
+            self.start, self.slot_seconds * factor, coarse_slots
+        )
 
     def _check_slot(self, slot: int) -> None:
         if not 0 <= slot < self.num_slots:
@@ -118,11 +122,24 @@ class FlowRecord:
         if timestamp > self.last_seen:
             self.last_seen = timestamp
 
-    def add_group(self, packets: int, wire_bytes: int,
-                  first_seen: float, last_seen: float) -> None:
-        """Account a pre-aggregated group of packets (vectorized paths)."""
+    def add_group(
+        self,
+        packets: int,
+        wire_bytes: int,
+        first_seen: float,
+        last_seen: float,
+    ) -> None:
+        """Account a pre-aggregated group of packets (vectorized paths).
+
+        An empty group (``packets == 0``) is an explicit no-op: the
+        ``inf``/``-inf`` sentinels callers pass for first/last must not
+        leak into ``first_seen``/``last_seen``, and a later real group
+        must still count as the first traffic seen.
+        """
         if wire_bytes < 0 or packets < 0:
             raise ClassificationError("group totals cannot be negative")
+        if packets == 0:
+            return
         self.bytes_total += wire_bytes
         self.packets += packets
         if first_seen < self.first_seen:
@@ -145,10 +162,12 @@ class FlowRecord:
         return max(0.0, self.last_seen - self.first_seen)
 
 
-def grouped_packet_stats(groups: np.ndarray, sizes: np.ndarray,
-                         timestamps: np.ndarray, num_groups: int,
-                         ) -> tuple[np.ndarray, np.ndarray,
-                                    np.ndarray, np.ndarray]:
+def grouped_packet_stats(
+    groups: np.ndarray,
+    sizes: np.ndarray,
+    timestamps: np.ndarray,
+    num_groups: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Per-group packet counts, byte sums, and first/last timestamps.
 
     The shared accumulation kernel behind both vectorized ingestion

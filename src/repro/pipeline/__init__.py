@@ -60,7 +60,7 @@ from repro.pipeline.sources import (
     SlotFrame,
     SlotSource,
 )
-from repro.pipeline.spec import PipelineSpec
+from repro.pipeline.spec import SOURCE_KINDS, PipelineSpec, SourceSpec
 
 __all__ = [
     "ADMISSION_NAMES",
@@ -94,6 +94,8 @@ __all__ = [
     "PipelineSpec",
     "PrefixResolver",
     "SAMPLING_MODES",
+    "SOURCE_KINDS",
+    "SourceSpec",
     "SampledPacketSource",
     "SamplingSpec",
     "ScenarioSlotSource",

@@ -341,6 +341,8 @@ class SketchAggregation(AggregationBackend):
         timestamps: np.ndarray,
         prefix_of: PrefixOf,
     ) -> None:
+        if keys.size == 0:
+            return
         unique, first_index, inverse = np.unique(
             keys, return_index=True, return_inverse=True
         )

@@ -195,3 +195,56 @@ class TestCountersAndResets:
         source = source_of(chunk=123)
         sampled = SamplingSpec(rate=10).wrap(source)
         assert sampled.chunk_packets == 123
+
+
+class TestEmptyBatchesAfterSampling:
+    """A batch sampling down to zero packets is a no-op everywhere.
+
+    The first-timestamp regression: an empty sampled batch must not
+    establish slot 0's start (or leak inf/-inf first/last sentinels
+    into flow records) — the first *surviving* packet does.
+    """
+
+    def test_flow_records_mode_passes_empty_batches(self):
+        # chunk=10 with rate=100 leaves most chunks empty
+        source = source_of(n=40, flows=2, chunk=10)
+        spec = SamplingSpec(rate=100, mode="flow-records")
+        batches, total, rows = drain(spec.wrap(source))
+        assert rows == 1  # only packet 0 survives 1-in-100
+        assert total == 40 * 100 // 40 * 100  # 100 bytes x rate 100
+        assert all(b.num_packets >= 0 for b in batches)
+
+    def test_first_slot_starts_at_first_sampled_packet(self):
+        from repro.pipeline.aggregator import (
+            AggregatingSlotSource,
+            StreamingAggregator,
+        )
+        from repro.routing.lpm import FixedLengthResolver
+
+        # packets every second; chunks of 4; deterministic 1-in-8
+        # with phase seed 0 selects packets 0, 8, 16, ... — so the
+        # chunks holding packets 1..7 sample down to nothing
+        n = 32
+        timestamps = np.arange(n, dtype=float)
+        destinations = np.full(n, 10 << 24, dtype=np.int64)
+        wire = np.full(n, 100, dtype=np.int64)
+        source = ArrayPacketSource(
+            timestamps, destinations, wire, chunk_packets=4
+        )
+        spec = SamplingSpec(rate=8)
+        aggregator = StreamingAggregator(
+            FixedLengthResolver(16),
+            slot_seconds=16.0,
+            sample_rate=spec.applied_rate,
+        )
+        slot_source = AggregatingSlotSource(
+            spec.wrap(source), aggregator
+        )
+        frames = list(slot_source.slots())
+        assert frames, "sampled stream still has packets"
+        assert frames[0].start == 0.0
+        # every sampled byte lands in a real slot, inverted back up
+        total = sum(
+            float(f.rates.sum()) * 16.0 / 8.0 for f in frames
+        )
+        assert total == pytest.approx(n * 100, rel=0.26)

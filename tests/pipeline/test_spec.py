@@ -2,16 +2,27 @@
 
 import argparse
 
+import numpy as np
 import pytest
 
 from repro.errors import ClassificationError
+from repro.flows.interchange import (
+    FlowInfoRecord,
+    FlowRecordSource,
+    write_flow_records,
+)
 from repro.pipeline.backends import (
     ArraySpaceSavingAggregation,
     ExactAggregation,
 )
 from repro.pipeline.sampling import SamplingSpec
 from repro.pipeline.sharded import ShardedAggregation
-from repro.pipeline.spec import PipelineSpec
+from repro.pipeline.sources import (
+    ArrayPacketSource,
+    CsvPacketSource,
+    PcapPacketSource,
+)
+from repro.pipeline.spec import SOURCE_KINDS, PipelineSpec, SourceSpec
 
 
 class TestValidation:
@@ -198,3 +209,166 @@ class TestFromArgs:
         ns = argparse.Namespace(shards=2, workers=2)
         with pytest.raises(ClassificationError, match="alternatives"):
             PipelineSpec.from_args(ns)
+
+
+class TestSourceSpec:
+    def test_unknown_kind(self):
+        with pytest.raises(ClassificationError, match="source kind"):
+            SourceSpec(kind="netflow", path="x")
+
+    def test_file_kinds_need_path(self):
+        for kind in ("pcap", "packet-csv", "flow-csv"):
+            with pytest.raises(ClassificationError, match="needs a path"):
+                SourceSpec(kind=kind)
+
+    def test_file_kinds_reject_columns(self):
+        with pytest.raises(ClassificationError, match="array columns"):
+            SourceSpec(
+                kind="pcap", path="x", timestamps=np.zeros(1)
+            )
+
+    def test_array_kind_rejects_path(self):
+        with pytest.raises(ClassificationError, match="not a path"):
+            SourceSpec(
+                kind="array",
+                path="x",
+                timestamps=np.zeros(1),
+                destinations=np.zeros(1),
+                wire_bytes=np.zeros(1),
+            )
+
+    def test_array_kind_needs_all_columns(self):
+        with pytest.raises(ClassificationError, match="columns"):
+            SourceSpec(kind="array", timestamps=np.zeros(1))
+
+    def test_chunk_packets_bound(self):
+        with pytest.raises(ClassificationError, match="chunk_packets"):
+            SourceSpec(kind="pcap", path="x", chunk_packets=0)
+
+    def test_from_path_sniffs_kinds(self, tmp_path):
+        flow_csv = tmp_path / "flows.csv"
+        flow_csv.write_text("flow_id,source_node_id,dest_node_id,...\n")
+        packet_csv = tmp_path / "packets.csv"
+        packet_csv.write_text("timestamp,destination,wire_bytes\n")
+        assert SourceSpec.from_path("cap.pcap").kind == "pcap"
+        assert SourceSpec.from_path(str(flow_csv)).kind == "flow-csv"
+        assert (
+            SourceSpec.from_path(str(packet_csv)).kind == "packet-csv"
+        )
+
+    def test_from_path_unreadable_csv(self, tmp_path):
+        with pytest.raises(ClassificationError, match="cannot read"):
+            SourceSpec.from_path(str(tmp_path / "missing.csv"))
+
+    def test_open_builds_matching_source(self, tmp_path):
+        flow_csv = tmp_path / "flows.csv"
+        write_flow_records(
+            str(flow_csv),
+            [FlowInfoRecord(0, 0, 1, "", 0, 10, 100)],
+        )
+        packet_csv = tmp_path / "packets.csv"
+        packet_csv.write_text("0.0,1,100\n")
+        cases = [
+            (SourceSpec(kind="pcap", path="x"), PcapPacketSource),
+            (
+                SourceSpec(kind="packet-csv", path=str(packet_csv)),
+                CsvPacketSource,
+            ),
+            (
+                SourceSpec(kind="flow-csv", path=str(flow_csv)),
+                FlowRecordSource,
+            ),
+            (
+                SourceSpec.of_arrays(
+                    np.zeros(1), np.zeros(1, int), np.ones(1, int)
+                ),
+                ArrayPacketSource,
+            ),
+        ]
+        for spec, expected in cases:
+            assert isinstance(spec.open(), expected)
+
+    def test_open_passes_chunk_packets(self, tmp_path):
+        flow_csv = tmp_path / "flows.csv"
+        write_flow_records(
+            str(flow_csv),
+            [FlowInfoRecord(0, 0, 1, "", 0, 10, 100)],
+        )
+        spec = SourceSpec(
+            kind="flow-csv", path=str(flow_csv), chunk_packets=7
+        )
+        assert spec.open().chunk_packets == 7
+
+    def test_describe(self):
+        facts = SourceSpec(kind="pcap", path="cap.pcap").describe()
+        assert facts == {"kind": "pcap", "path": "cap.pcap"}
+        facts = SourceSpec.of_arrays(
+            np.zeros(3), np.zeros(3, int), np.ones(3, int)
+        ).describe()
+        assert facts == {"kind": "array", "num_packets": 3}
+
+    def test_kinds_constant_covers_all(self):
+        assert set(SOURCE_KINDS) == {
+            "pcap",
+            "packet-csv",
+            "flow-csv",
+            "array",
+        }
+
+
+class TestPipelineSpecSource:
+    def test_open_source_requires_source(self):
+        with pytest.raises(ClassificationError, match="names no input"):
+            PipelineSpec().open_source()
+
+    def test_open_source_applies_sampling_wrap(self):
+        timestamps = np.arange(10, dtype=np.float64)
+        spec = PipelineSpec(
+            sampling=SamplingSpec(rate=2),
+            source=SourceSpec.of_arrays(
+                timestamps,
+                np.zeros(10, dtype=np.int64),
+                np.full(10, 100, dtype=np.int64),
+            ),
+        )
+        source = spec.open_source()
+        seen = sum(
+            batch.timestamps.size for batch in source.batches()
+        )
+        assert seen == 5  # 1-in-2 deterministic sampling
+
+    def test_describe_includes_source(self):
+        spec = PipelineSpec(
+            source=SourceSpec(kind="pcap", path="cap.pcap")
+        )
+        facts = spec.describe()
+        assert facts["source"] == {"kind": "pcap", "path": "cap.pcap"}
+        assert facts["backend"] == "exact"
+        assert facts["sampling"]["rate"] == 1
+
+    def test_describe_without_source(self):
+        assert "source" not in PipelineSpec().describe()
+
+    def test_run_streaming_rejects_source_bearing_spec(self):
+        from repro.core.engine import (
+            ClassificationEngine,
+            Feature,
+            Scheme,
+        )
+        from repro.flows.matrix import RateMatrix
+        from repro.flows.records import TimeAxis
+        from repro.net.prefix import Prefix
+
+        matrix = RateMatrix(
+            [Prefix.parse("10.0.0.0/16")],
+            TimeAxis(0.0, 60.0, 2),
+            np.full((1, 2), 1e5),
+        )
+        engine = ClassificationEngine(matrix)
+        spec = PipelineSpec(
+            source=SourceSpec(kind="pcap", path="cap.pcap")
+        )
+        with pytest.raises(ClassificationError, match="own matrix|replays"):
+            engine.run_streaming(
+                Scheme.CONSTANT_LOAD, Feature.LATENT_HEAT, spec=spec
+            )

@@ -939,3 +939,238 @@ class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestOffload:
+    """CLI surface of the flow-table offload evaluation."""
+
+    def test_table_output_on_pcap(self, stream_capture, capsys):
+        code = main(
+            [
+                "offload",
+                stream_capture["pcap"],
+                "--rib",
+                stream_capture["rib"],
+                "--table-size",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "offload summary" in out
+        assert "byte coverage" in out
+        assert "rules=" in out  # per-slot lines precede the table
+
+    def test_json_envelope(self, stream_capture, capsys):
+        code = main(
+            [
+                "offload",
+                stream_capture["npz"],
+                "--table-size",
+                "8",
+                "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema"] == "repro.result/1"
+        assert summary["command"] == "offload"
+        assert summary["series"]["num_slots"] == 4
+        facts = summary["offload"]
+        assert facts["table_size"] == 8
+        assert facts["num_slots"] == 4
+        assert len(facts["coverage_by_slot"]) == 4
+        assert len(facts["occupancy_by_slot"]) == 4
+        # slot 0 enters with an empty table, so coverage starts at 0
+        assert facts["coverage_by_slot"][0] == 0.0
+        assert facts["byte_coverage"] > 0.0
+
+    def test_table_size_required(self, stream_capture):
+        with pytest.raises(SystemExit):
+            main(["offload", stream_capture["npz"]])
+
+    def test_zero_capacity_covers_nothing(self, stream_capture, capsys):
+        code = main(
+            [
+                "offload",
+                stream_capture["npz"],
+                "--table-size",
+                "0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["offload"]["byte_coverage"] == 0.0
+        assert summary["offload"]["installs"] == 0
+        assert summary["offload"]["rejected"] > 0
+
+    def test_workers_rejected(self, stream_capture, capsys):
+        code = main(
+            [
+                "offload",
+                stream_capture["npz"],
+                "--table-size",
+                "4",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--workers" in err
+
+
+class TestFlowCsv:
+    """stream --flow-csv-out and flow-record CSV as an input."""
+
+    def test_export_then_replay_matches_slot_for_slot(
+        self, stream_capture, tmp_path, capsys
+    ):
+        """A pcap run equals the replay of its own CSV export."""
+        export = str(tmp_path / "flow_info.csv")
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--quiet",
+                "--json",
+                "--flow-csv-out",
+                export,
+            ]
+        )
+        assert code == 0
+        from_pcap = json.loads(capsys.readouterr().out)
+        assert from_pcap["flow_csv_out"] == export
+        assert from_pcap["flow_records_written"] > 0
+        code = main(["stream", export, "--quiet", "--json"])
+        assert code == 0
+        from_csv = json.loads(capsys.readouterr().out)
+        assert (
+            from_csv["elephants_by_slot"]
+            == from_pcap["elephants_by_slot"]
+        )
+        assert from_csv["elephants"] == from_pcap["elephants"]
+        assert from_csv["num_slots"] == from_pcap["num_slots"]
+        assert from_csv["spec"]["source"]["kind"] == "flow-csv"
+        assert from_pcap["spec"]["source"]["kind"] == "pcap"
+
+    def test_flow_csv_feeds_offload(
+        self, stream_capture, tmp_path, capsys
+    ):
+        export = str(tmp_path / "flow_info.csv")
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--quiet",
+                "--flow-csv-out",
+                export,
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            ["offload", export, "--table-size", "8", "--json"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["spec"]["source"]["kind"] == "flow-csv"
+        assert summary["offload"]["byte_coverage"] > 0.0
+
+    def test_parallel_stream_writes_flow_csv(
+        self, stream_capture, tmp_path, capsys
+    ):
+        export = str(tmp_path / "flow_info.csv")
+        code = main(
+            [
+                "stream",
+                stream_capture["pcap"],
+                "--quiet",
+                "--json",
+                "--workers",
+                "2",
+                "--flow-csv-out",
+                export,
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["flow_records_written"] > 0
+        code = main(["stream", export, "--quiet", "--json"])
+        assert code == 0
+        replay = json.loads(capsys.readouterr().out)
+        assert (
+            replay["elephants_by_slot"] == summary["elephants_by_slot"]
+        )
+
+
+class TestResultEnvelope:
+    """One versioned result shape across four commands.
+
+    stream, merge, query, and offload all serialise through
+    ``result_envelope``; on the same capture their elephant answers
+    must agree field-for-field, not merely resemble each other.
+    """
+
+    def test_four_commands_agree(
+        self, stream_capture, tmp_path, capsys
+    ):
+        from repro.distributed import CollectorService, ServiceHandle
+
+        path = str(tmp_path / "mon.npz")
+        with ServiceHandle(CollectorService()) as handle:
+            host, port = handle.address
+            address = f"{host}:{port}"
+            code = main(
+                [
+                    "stream",
+                    stream_capture["pcap"],
+                    "--quiet",
+                    "--json",
+                    "--summary-out",
+                    path,
+                    "--connect",
+                    address,
+                    "--monitor",
+                    "mon-a",
+                ]
+            )
+            assert code == 0
+            streamed = json.loads(capsys.readouterr().out)
+            assert main(["query", address, "--json"]) == 0
+            queried = json.loads(capsys.readouterr().out)
+        assert main(["merge", path, "--json"]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        code = main(
+            [
+                "offload",
+                stream_capture["pcap"],
+                "--table-size",
+                "8",
+                "--json",
+            ]
+        )
+        assert code == 0
+        offloaded = json.loads(capsys.readouterr().out)
+        reports = [streamed, queried, merged, offloaded]
+        for report in reports:
+            assert report["schema"] == "repro.result/1"
+            assert isinstance(report["spec"], dict)
+            series = report["series"]
+            assert series["num_slots"] == 4
+            assert len(series["elephants_per_slot"]) == 4
+        assert [r["command"] for r in reports] == [
+            "stream",
+            "query",
+            "merge",
+            "offload",
+        ]
+        for other in reports[1:]:
+            assert other["elephants"] == streamed["elephants"]
+            assert (
+                other["elephants_by_slot"]
+                == streamed["elephants_by_slot"]
+            )
+            assert other["series"] == streamed["series"]
+        assert streamed["elephants"]  # the agreement is non-vacuous
