@@ -44,7 +44,9 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
+import os
 import sys
 import zipfile
 from typing import Sequence
@@ -73,11 +75,13 @@ from repro.distributed import (
     result_envelope,
     save_summaries,
 )
+from repro.distributed.faults import FaultPlan
 from repro.distributed.service import (
     DEFAULT_LINK,
     DEFAULT_MAX_INFLIGHT,
     CollectorService,
     MonitorClient,
+    ResilientMonitorClient,
     parse_address,
     publish_summaries,
     query_service,
@@ -216,6 +220,23 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="LINK",
         help="link this monitor taps, for --connect",
     )
+    stream.add_argument(
+        "--retry",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --connect: survive transport failures by "
+        "redialing up to N consecutive times per disruption, "
+        "replaying unacked summaries (0 = fail fast)",
+    )
+    stream.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="base reconnect delay; doubles per failed "
+        "attempt (capped), with jitter",
+    )
     _add_output_options(stream)
 
     merge = commands.add_parser(
@@ -295,7 +316,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the bound HOST:PORT here once listening "
-        "(for scripts using port 0)",
+        "(for scripts using port 0); written atomically, "
+        "removed on exit",
+    )
+    collect.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="persist sealed slots to a write-ahead log under "
+        "DIR and restore them on startup, so a restarted "
+        "collector answers exactly as the one that died",
     )
     _add_output_options(
         collect,
@@ -931,12 +961,16 @@ def _cmd_stream_parallel(
         # The fleet's summaries already met at the in-process
         # collector; ship the merged run to the remote daemon as one
         # monitor, after the fact.
+        plan = FaultPlan.from_env()
         try:
             stats = publish_summaries(
                 parse_address(args.connect),
                 collector.merged,
                 monitor=_monitor_name(args),
                 link=args.link_name,
+                retries=args.retry if args.retry > 0 else None,
+                backoff=args.retry_backoff,
+                faults=None if plan.is_empty else plan,
             )
         except OSError as exc:
             raise ReproError(
@@ -963,14 +997,31 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         backend=(backend if aggregator is None else None),
         sampling=spec.sampling,
     )
-    client: MonitorClient | None = None
+    client: MonitorClient | ResilientMonitorClient | None = None
     if args.connect is not None:
+        plan = FaultPlan.from_env()
+        faults = None if plan.is_empty else plan
         try:
-            client = MonitorClient(
-                parse_address(args.connect),
-                _monitor_name(args),
-                link=args.link_name,
-            )
+            if args.retry > 0:
+                client = ResilientMonitorClient(
+                    parse_address(args.connect),
+                    _monitor_name(args),
+                    link=args.link_name,
+                    retries=args.retry,
+                    backoff=args.retry_backoff,
+                    faults=faults,
+                )
+            else:
+                client = MonitorClient(
+                    parse_address(args.connect),
+                    _monitor_name(args),
+                    link=args.link_name,
+                    faults=(
+                        faults.client_state(_monitor_name(args))
+                        if faults is not None
+                        else None
+                    ),
+                )
         except OSError as exc:
             raise ReproError(
                 f"cannot reach collector at {args.connect!r}: {exc}"
@@ -1004,12 +1055,24 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             if client is not None:
                 # live export: each sealed slot goes out as soon as
                 # it is classified, paced by the collector's acks
-                client.publish(record)
+                try:
+                    client.publish(record)
+                except OSError as exc:
+                    client.abort()
+                    raise ReproError(
+                        f"collector connection lost: {exc}"
+                    ) from exc
         if args.quiet or args.json:
             continue
         _print_slot_line(event)
     if client is not None:
-        client.close()
+        try:
+            client.close()
+        except OSError as exc:
+            client.abort()
+            raise ReproError(
+                f"collector connection lost: {exc}"
+            ) from exc
     if slots == 0:
         print("no slots in input", file=sys.stderr)
         return 1
@@ -1077,6 +1140,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 "skipped": client.skipped,
             }
         )
+        if isinstance(client, ResilientMonitorClient):
+            summary["reconnects"] = client.reconnects
     if args.json:
         summary = {
             **result_envelope("stream", spec.describe(), slot_entries),
@@ -1158,6 +1223,21 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_port_file(path: str, host: str, port: int) -> None:
+    """Atomically publish the bound address.
+
+    Scripts poll for this file as the readiness signal, so it must
+    never be observable half-written: write a sibling temp file and
+    rename it into place.
+    """
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w") as handle:
+        handle.write(f"{host}:{port}\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+
+
 def _cmd_collect(args: argparse.Namespace) -> int:
     scheme, feature = _scheme_and_feature(args)
     host, port = parse_address(args.listen)
@@ -1165,6 +1245,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         raise ReproError("--max-inflight must be >= 1")
     if args.once is not None and args.once < 1:
         raise ReproError("--once must be >= 1")
+    faults = FaultPlan.from_env()
     service = CollectorService(
         host,
         port,
@@ -1175,13 +1256,14 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         config=_engine_config(args),
         max_inflight=args.max_inflight,
         once=args.once,
+        state_dir=args.state_dir,
+        faults=None if faults.is_empty else faults,
     )
 
     async def _serve() -> None:
         bound_host, bound_port = await service.start()
         if args.port_file is not None:
-            with open(args.port_file, "w") as handle:
-                handle.write(f"{bound_host}:{bound_port}\n")
+            _write_port_file(args.port_file, bound_host, bound_port)
         if not args.quiet:
             print(
                 f"collector listening on {bound_host}:{bound_port}",
@@ -1198,6 +1280,12 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    finally:
+        if args.port_file is not None:
+            # a vanished port file is the readiness signal's inverse:
+            # nothing is listening there any more
+            with contextlib.suppress(FileNotFoundError):
+                os.remove(args.port_file)
     if not args.quiet:
         collector = service.collector
         sealed = sum(

@@ -26,6 +26,8 @@ from repro.distributed.collector import (
     elephant_entries,
     result_envelope,
 )
+from repro.distributed.checkpoint import CheckpointStore
+from repro.distributed.faults import FaultPlan, FaultRule
 from repro.distributed.framing import (
     FrameDecoder,
     encode_frame,
@@ -51,6 +53,7 @@ from repro.distributed.service import (
     LiveCollector,
     LiveLink,
     MonitorClient,
+    ResilientMonitorClient,
     ServiceHandle,
     parse_address,
     publish_summaries,
@@ -70,9 +73,12 @@ from repro.distributed.summary import (
 )
 
 __all__ = [
+    "CheckpointStore",
     "Collector",
     "CollectorService",
     "DEFAULT_RING_SLOTS",
+    "FaultPlan",
+    "FaultRule",
     "FrameDecoder",
     "LiveCollector",
     "LiveLink",
@@ -81,6 +87,7 @@ __all__ = [
     "MonitorClient",
     "ParallelIngestResult",
     "RESULT_SCHEMA",
+    "ResilientMonitorClient",
     "RingConsumer",
     "RingSpec",
     "RingWriter",

@@ -18,6 +18,10 @@ JSON control messages side by side:
   collector abandons a misbehaving connection.
 - ``KIND_BYE`` — empty payload; a monitor's clean end-of-run (anything
   else, EOF included, is a crash).
+- ``KIND_SEAL`` — one sealed-slot checkpoint record (link name +
+  merged summary); never travels a socket, it is the on-disk WAL
+  format of :mod:`repro.distributed.checkpoint`, which borrows this
+  framing so a torn tail is recoverable with the same decoder.
 
 :class:`FrameDecoder` is sans-IO: feed it whatever byte chunks the
 transport produced and it yields complete ``(kind, payload)`` pairs,
@@ -42,6 +46,7 @@ KIND_QUERY = b"Q"
 KIND_REPLY = b"R"
 KIND_ERROR = b"E"
 KIND_BYE = b"B"
+KIND_SEAL = b"L"
 
 FRAME_KINDS = frozenset(
     (
@@ -52,6 +57,7 @@ FRAME_KINDS = frozenset(
         KIND_REPLY,
         KIND_ERROR,
         KIND_BYE,
+        KIND_SEAL,
     )
 )
 
@@ -160,6 +166,7 @@ __all__ = [
     "KIND_HELLO",
     "KIND_QUERY",
     "KIND_REPLY",
+    "KIND_SEAL",
     "KIND_SUMMARY",
     "MAX_PAYLOAD_BYTES",
     "FrameDecoder",

@@ -30,14 +30,13 @@ class StridedPacketSource:
     aggregator handles as silence.
     """
 
-    def __init__(self, source: PacketSource, stride: int,
-                 offset: int) -> None:
+    def __init__(
+        self, source: PacketSource, stride: int, offset: int
+    ) -> None:
         if stride < 1:
             raise ClassificationError("stride must be >= 1")
         if not 0 <= offset < stride:
-            raise ClassificationError(
-                f"offset {offset} outside 0..{stride - 1}"
-            )
+            raise ClassificationError(f"offset {offset} outside 0..{stride - 1}")
         self.source = source
         self.stride = stride
         self.offset = offset
@@ -56,12 +55,9 @@ class StridedPacketSource:
             # it equals the capture's scanned-record count, and
             # packets_skipped does not silently read 0.
             skipped = batch.packets_skipped
-            skip_index = np.arange(skip_position,
-                                   skip_position + skipped)
+            skip_index = np.arange(skip_position, skip_position + skipped)
             skip_position += skipped
-            my_skipped = int(
-                ((skip_index % self.stride) == self.offset).sum()
-            )
+            my_skipped = int(((skip_index % self.stride) == self.offset).sum())
             yield PacketBatch(
                 timestamps=batch.timestamps[keep],
                 sources=batch.sources[keep],

@@ -44,17 +44,22 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import random
 import socket
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.engine import EngineConfig, Feature, Scheme
+from repro.distributed.checkpoint import CheckpointStore
 from repro.distributed.collector import (
     MergedSlotSource,
     elephant_entries,
     result_envelope,
 )
+from repro.distributed.faults import ClientFaultState, FaultPlan, FaultySocket
 from repro.distributed.framing import (
     KIND_ACK,
     KIND_BYE,
@@ -126,6 +131,7 @@ class LiveLink:
         scheme: Scheme = Scheme.CONSTANT_LOAD,
         feature: Feature = Feature.LATENT_HEAT,
         config: EngineConfig | None = None,
+        on_seal: Callable[[SlotSummary], None] | None = None,
     ) -> None:
         self.name = name
         self.k = k
@@ -133,6 +139,11 @@ class LiveLink:
         self.scheme = scheme
         self.feature = feature
         self.config = config
+        #: Called with each sealed merged summary *before* it is
+        #: classified — the durability hook: the checkpoint WAL append
+        #: happens here, so by the time the monitor's ack goes out the
+        #: slot is already on disk.
+        self.on_seal = on_seal
         self.slot_seconds: float | None = None
         self.first_cell: int | None = None
         #: The lowest cell not yet sealed; everything below is history.
@@ -258,7 +269,36 @@ class LiveLink:
                 continue
             self._seal(merged)
 
-    def _seal(self, merged: SlotSummary) -> None:
+    def restore(self, run: list[SlotSummary]) -> None:
+        """Rebuild sealed state from checkpointed merged summaries.
+
+        ``run`` is the slot-ordered sealed history a
+        :class:`~repro.distributed.checkpoint.CheckpointStore`
+        recovered for this link. Each summary re-runs the exact
+        ``_seal`` path (the pipeline is deterministic, so the
+        classified answers equal the pre-crash ones) without
+        re-checkpointing; ``next_cell`` lands one past the last sealed
+        cell, so a reconnecting monitor resumes exactly where the dead
+        collector left off. Per-monitor skew totals are *not*
+        persisted: a restored link reports zero skew for pre-restart
+        history, by design — only the merged answers must survive.
+        """
+        for merged in run:
+            if self.slot_seconds is None:
+                self.slot_seconds = merged.slot_seconds
+            cell = grid_cell(merged.start, self.slot_seconds)
+            if self.first_cell is None:
+                # merged summaries carry slot = cell - first_cell, so
+                # the original origin is recoverable from any record
+                self.first_cell = cell - merged.slot
+            self.next_cell = cell + 1
+            self._seal(merged, checkpoint=False)
+
+    def _seal(self, merged: SlotSummary, checkpoint: bool = True) -> None:
+        if checkpoint and self.on_seal is not None:
+            # WAL first: a slot acked to a monitor is always on disk,
+            # even if the process dies between here and the classify.
+            self.on_seal(merged)
         if self._pipeline is None:
             self._source = MergedSlotSource(
                 [], slot_seconds=self.slot_seconds
@@ -360,20 +400,34 @@ class LiveCollector:
         scheme: Scheme = Scheme.CONSTANT_LOAD,
         feature: Feature = Feature.LATENT_HEAT,
         config: EngineConfig | None = None,
+        checkpoint: CheckpointStore | None = None,
     ) -> None:
         self.k = k
         self.fill_gaps = fill_gaps
         self.scheme = scheme
         self.feature = feature
         self.config = config
+        self.checkpoint = checkpoint
         self.links: dict[str, LiveLink] = {}
         self.monitors: dict[tuple[str, str], MonitorStatus] = {}
         #: Clean (BYE-terminated) monitor runs completed so far.
         self.runs_completed = 0
+        if checkpoint is not None:
+            for name in sorted(checkpoint.sealed):
+                self.link(name).restore(checkpoint.sealed[name])
 
     def link(self, name: str) -> LiveLink:
         """The link's live state, created on first reference."""
         if name not in self.links:
+            on_seal = None
+            if self.checkpoint is not None:
+                checkpoint = self.checkpoint
+
+                def on_seal(
+                    merged: SlotSummary, _link: str = name
+                ) -> None:
+                    checkpoint.append(_link, merged)
+
             self.links[name] = LiveLink(
                 name,
                 k=self.k,
@@ -381,6 +435,7 @@ class LiveCollector:
                 scheme=self.scheme,
                 feature=self.feature,
                 config=self.config,
+                on_seal=on_seal,
             )
         return self.links[name]
 
@@ -468,17 +523,27 @@ class CollectorService:
         config: EngineConfig | None = None,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         once: int | None = None,
+        state_dir: str | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.max_inflight = max(1, max_inflight)
         self.once = once
+        self.faults = faults if faults is not None else FaultPlan()
+        #: Durable sealed-slot store (``--state-dir``); opening it
+        #: restores any previous run's sealed history into the
+        #: collector before the first connection is accepted.
+        self.checkpoint = (
+            CheckpointStore(state_dir) if state_dir else None
+        )
         self.collector = LiveCollector(
             k=k,
             fill_gaps=fill_gaps,
             scheme=scheme,
             feature=feature,
             config=config,
+            checkpoint=self.checkpoint,
         )
         self.address: tuple[str, int] | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -508,6 +573,11 @@ class CollectorService:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
         self._writers.clear()
+        if self.checkpoint is not None:
+            # Fold the WAL into the snapshot on a clean stop; a kill
+            # skips this and restore replays the WAL instead.
+            self.checkpoint.compact()
+            self.checkpoint.close()
 
     def _maybe_done(self) -> None:
         if (
@@ -566,6 +636,9 @@ class CollectorService:
                         cell, outcome = self.collector.add_summary(
                             monitor, link, summary
                         )
+                        delay = self.faults.ack_delay(monitor)
+                        if delay:
+                            await asyncio.sleep(delay)
                         writer.write(
                             encode_json_frame(
                                 KIND_ACK,
@@ -747,17 +820,33 @@ class MonitorClient:
         link: str = DEFAULT_LINK,
         timeout: float = 10.0,
         max_inflight: int | None = None,
+        faults: ClientFaultState | None = None,
     ) -> None:
         self.monitor = monitor
         self.link = link
-        self._sock = socket.create_connection(address, timeout=timeout)
-        self._frames = _BlockingFrames(self._sock)
-        self._sock.sendall(
-            encode_json_frame(
-                KIND_HELLO, {"monitor": monitor, "link": link}
-            )
+        #: Optional per-ack observer (``on_ack(status)``), called after
+        #: the counters update; :class:`ResilientMonitorClient` uses it
+        #: to retire summaries from its unacked replay buffer.
+        self.on_ack: Callable[[str], None] | None = None
+        sock: socket.socket | FaultySocket = socket.create_connection(
+            address, timeout=timeout
         )
-        reply = self._frames.expect(KIND_REPLY)
+        if faults is not None:
+            sock = FaultySocket(sock, faults)
+        self._sock = sock
+        try:
+            self._frames = _BlockingFrames(self._sock)
+            self._sock.sendall(
+                encode_json_frame(
+                    KIND_HELLO, {"monitor": monitor, "link": link}
+                )
+            )
+            reply = self._frames.expect(KIND_REPLY)
+        except BaseException:
+            # A failed handshake (error frame, timeout, EOF) must not
+            # leak the connected socket.
+            self._sock.close()
+            raise
         resume = reply.get("resume_cell")
         #: First cell the collector will accept; lower cells are sealed
         #: history and are skipped client-side without a round trip.
@@ -801,10 +890,13 @@ class MonitorClient:
     def _read_ack(self) -> None:
         message = self._frames.expect(KIND_ACK)
         self.inflight -= 1
-        if message.get("status") == "stale":
+        status = str(message.get("status"))
+        if status == "stale":
             self.stale += 1
         else:
             self.published += 1
+        if self.on_ack is not None:
+            self.on_ack(status)
 
     def query(self, link: str | None = None) -> dict:
         """Query over this same connection (acks must be drained)."""
@@ -830,6 +922,247 @@ class MonitorClient:
         self._sock.close()
 
 
+#: Errors a reconnecting client treats as transient transport loss.
+#: ``OSError`` covers refused/reset/severed sockets and ack-read
+#: timeouts; ``ServiceProtocolError`` covers the collector closing the
+#: connection mid-stream (EOF reads, error frames) — including the
+#: transient "monitor already attached" a fast reconnect sees while
+#: the server has not yet reaped the dead connection.
+_RETRYABLE = (OSError, ServiceProtocolError)
+
+
+class ResilientMonitorClient:
+    """A :class:`MonitorClient` that survives transport failure.
+
+    Wraps the plain client with redial-on-error: any retryable failure
+    (see ``_RETRYABLE``) tears the connection down and re-dials with
+    capped exponential backoff plus seeded jitter, re-handshakes, and
+    replays every summary the dead connection had not acked. Delivery
+    stays exactly-once *in the collector's accounting*: the server's
+    ``resume_cell`` skip-ahead and stale-ack watermarks absorb any
+    replayed duplicate, so the merged answers equal an uninterrupted
+    run's.
+
+    ``retries`` bounds the *consecutive* failed attempts per
+    disruption (each successful reconnect resets the budget);
+    ``backoff`` doubles per attempt up to ``backoff_cap`` seconds,
+    jittered by a :class:`random.Random` seeded with ``jitter_seed``
+    so tests are reproducible. Counters (``published``/``stale``/
+    ``skipped``/``reconnects``) aggregate across all connections.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        monitor: str,
+        link: str = DEFAULT_LINK,
+        timeout: float = 10.0,
+        max_inflight: int | None = None,
+        retries: int = 5,
+        backoff: float = 0.25,
+        backoff_cap: float = 5.0,
+        jitter_seed: int = 0,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        self.address = address
+        self.monitor = monitor
+        self.link = link
+        self.timeout = timeout
+        self.max_inflight = max_inflight
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(jitter_seed)
+        #: One fault state for the client's whole life: frame counters
+        #: and one-shot budgets span reconnects, so an injected sever
+        #: fires once and the retried connection survives.
+        self._faults = (
+            (faults or FaultPlan()).client_state(monitor)
+            if faults is not None
+            else None
+        )
+        #: Summaries sent but not yet acked, oldest first — the replay
+        #: buffer a fresh connection re-publishes.
+        self._pending: deque[SlotSummary] = deque()
+        self.reconnects = 0
+        self.published = 0
+        self.stale = 0
+        self.skipped = 0
+        self._client: MonitorClient | None = None
+        self._dial()
+
+    def __enter__(self) -> "ResilientMonitorClient":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+    @property
+    def resume_cell(self) -> int | None:
+        return (
+            self._client.resume_cell
+            if self._client is not None
+            else None
+        )
+
+    def _delay(self, failures: int) -> float:
+        base = min(
+            self.backoff_cap, self.backoff * (2 ** (failures - 1))
+        )
+        return base * (0.5 + 0.5 * self._rng.random())
+
+    def _on_ack(self, status: str) -> None:
+        if self._pending:
+            self._pending.popleft()
+        if status == "stale":
+            self.stale += 1
+        else:
+            self.published += 1
+
+    def _drop_client(self) -> None:
+        if self._client is not None:
+            with contextlib.suppress(Exception):
+                self._client.abort()
+            self._client = None
+
+    def _dial_once(self) -> MonitorClient:
+        client = MonitorClient(
+            self.address,
+            self.monitor,
+            link=self.link,
+            timeout=self.timeout,
+            max_inflight=self.max_inflight,
+            faults=self._faults,
+        )
+        client.on_ack = self._on_ack
+        self._client = client
+        return client
+
+    def _dial(self) -> None:
+        """Establish the first connection, with the same backoff."""
+        failures = 0
+        while True:
+            try:
+                self._dial_once()
+                return
+            except _RETRYABLE:
+                failures += 1
+                if failures > self.retries:
+                    raise
+                time.sleep(self._delay(failures))
+
+    def _replay(self, client: MonitorClient) -> set[int]:
+        """Re-publish the unacked backlog; returns skipped identities.
+
+        A replayed summary below the fresh connection's resume cell is
+        sealed history the collector will never ack — drop it from the
+        pending buffer (by identity: summaries hold numpy arrays, so
+        ``==`` is not usable) and count it skipped.
+        """
+        skipped: set[int] = set()
+        for summary in list(self._pending):
+            if not client.publish(summary):
+                skipped.add(id(summary))
+                self._pending = deque(
+                    entry
+                    for entry in self._pending
+                    if entry is not summary
+                )
+                self.skipped += 1
+        return skipped
+
+    def _redial(self) -> set[int]:
+        """Reconnect, re-handshake, replay; bounded by ``retries``."""
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            self._drop_client()
+            if attempt:
+                time.sleep(self._delay(attempt))
+            self.reconnects += 1
+            try:
+                client = self._dial_once()
+                return self._replay(client)
+            except _RETRYABLE as exc:
+                last = exc
+        self._drop_client()
+        assert last is not None
+        raise last
+
+    def _ensure(self) -> MonitorClient:
+        if self._client is None:
+            self._redial()
+        assert self._client is not None
+        return self._client
+
+    def publish(self, summary: SlotSummary) -> bool:
+        """Send one summary, redialing through any transport failure.
+
+        Returns False when the summary was dropped client-side as
+        sealed history (below the resume cell), True otherwise.
+        """
+        client = self._ensure()
+        self._pending.append(summary)
+        try:
+            sent = client.publish(summary)
+        except _RETRYABLE:
+            skipped = self._redial()
+            return id(summary) not in skipped
+        if not sent:
+            self._pending = deque(
+                entry for entry in self._pending if entry is not summary
+            )
+            self.skipped += 1
+        return sent
+
+    def drain(self) -> None:
+        """Wait out every outstanding ack, reconnecting as needed."""
+        while True:
+            client = self._ensure()
+            try:
+                client.drain()
+                return
+            except _RETRYABLE:
+                self._redial()
+
+    def query(self, link: str | None = None) -> dict:
+        while True:
+            client = self._ensure()
+            try:
+                return client.query(link)
+            except _RETRYABLE:
+                self._redial()
+
+    def ensure_connected(self) -> int | None:
+        """Probe the transport end-to-end, redialing if it is dead.
+
+        Returns the connection's resume cell. After a collector
+        restart, call this on *every* monitor before resuming
+        publishes: the frontier gates on currently-attached monitors
+        only, so the first monitor to re-attach and publish would seal
+        its cells alone and its peers' copies would land as stale.
+        """
+        self.query(self.link)
+        return self.resume_cell
+
+    def close(self) -> None:
+        """Drain, BYE, and hang up — retrying the whole goodbye."""
+        while True:
+            client = self._ensure()
+            try:
+                client.drain()
+                client.close()
+                self._client = None
+                return
+            except _RETRYABLE:
+                self._redial()
+
+    def abort(self) -> None:
+        self._drop_client()
+
+
 def publish_summaries(
     address: tuple[str, int],
     summaries: list[SlotSummary] | tuple[SlotSummary, ...],
@@ -837,29 +1170,58 @@ def publish_summaries(
     link: str = DEFAULT_LINK,
     timeout: float = 10.0,
     max_inflight: int | None = None,
+    retries: int | None = None,
+    backoff: float = 0.25,
+    faults: FaultPlan | None = None,
 ) -> dict[str, int]:
     """Stream one monitor run into a live collector and disconnect.
 
-    Returns the delivery accounting: summaries ``published`` (accepted),
-    ``stale`` (rejected as sealed history), and ``skipped`` (dropped
-    client-side below the resume cell).
+    ``retries`` (when given) upgrades the transport to a
+    :class:`ResilientMonitorClient` that redials through up to that
+    many consecutive failures; ``None`` keeps the plain
+    fail-fast client. Returns the delivery accounting: summaries
+    ``published`` (accepted), ``stale`` (rejected as sealed history),
+    and ``skipped`` (dropped client-side below the resume cell) — plus
+    ``reconnects`` when resilient.
     """
-    client = MonitorClient(
-        address,
-        monitor,
-        link=link,
-        timeout=timeout,
-        max_inflight=max_inflight,
-    )
+    if retries is not None:
+        client: MonitorClient | ResilientMonitorClient = (
+            ResilientMonitorClient(
+                address,
+                monitor,
+                link=link,
+                timeout=timeout,
+                max_inflight=max_inflight,
+                retries=retries,
+                backoff=backoff,
+                faults=faults,
+            )
+        )
+    else:
+        client = MonitorClient(
+            address,
+            monitor,
+            link=link,
+            timeout=timeout,
+            max_inflight=max_inflight,
+            faults=(
+                faults.client_state(monitor)
+                if faults is not None and not faults.is_empty
+                else None
+            ),
+        )
     with client:
         for summary in summaries:
             client.publish(summary)
         client.drain()
-    return {
+    stats = {
         "published": client.published,
         "stale": client.stale,
         "skipped": client.skipped,
     }
+    if retries is not None:
+        stats["reconnects"] = client.reconnects
+    return stats
 
 
 def query_service(
@@ -884,6 +1246,7 @@ __all__ = [
     "LiveLink",
     "MonitorClient",
     "MonitorStatus",
+    "ResilientMonitorClient",
     "ServiceHandle",
     "parse_address",
     "publish_summaries",

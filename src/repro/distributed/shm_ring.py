@@ -51,11 +51,12 @@ segments at shutdown.
 from __future__ import annotations
 
 import os
+import queue as queue_module
 import secrets
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -221,12 +222,28 @@ class RingWriter:
     consumer; ``free_queue`` brings consumed slots back. Only slot
     indices and two booleans ever cross a process boundary — the
     columns themselves move exactly once, into shared memory.
+
+    ``on_wait`` (optional) is called periodically while the writer is
+    blocked on a full ring. The supervised runner uses it to keep
+    servicing control messages — a writer stuck on a *dead* consumer's
+    ring would otherwise never learn that consumer is being replaced.
+    The hook may raise to abort the send; with no hook the wait is the
+    plain blocking ``get`` it always was.
     """
 
-    def __init__(self, ring: ShmRing, free_queue, data_queue) -> None:
+    def __init__(
+        self,
+        ring: ShmRing,
+        free_queue,
+        data_queue,
+        on_wait: Callable[[], None] | None = None,
+        wait_poll_seconds: float = 0.2,
+    ) -> None:
         self.ring = ring
         self._free = free_queue
         self._data = data_queue
+        self._on_wait = on_wait
+        self._wait_poll_seconds = wait_poll_seconds
         self._idle = deque(range(ring.spec.slots))
 
     def _next_slot(self) -> int:
@@ -235,7 +252,13 @@ class RingWriter:
         # Ring exhausted: block until the consumer returns a slot.
         # This wait is the transport's backpressure — the reader
         # stalls instead of buffering the capture or dropping batches.
-        return self._free.get()
+        if self._on_wait is None:
+            return self._free.get()
+        while True:
+            try:
+                return self._free.get(timeout=self._wait_poll_seconds)
+            except queue_module.Empty:
+                self._on_wait()
 
     def send(
         self,

@@ -63,6 +63,10 @@ class ServiceProtocolError(ReproError):
     """
 
 
+class FaultPlanError(ReproError, ValueError):
+    """A :mod:`repro.distributed.faults` directive string is malformed."""
+
+
 class ClockSkewWarning(UserWarning):
     """Monitor clocks appear skewed beyond a slot boundary.
 

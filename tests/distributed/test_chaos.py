@@ -1,0 +1,502 @@
+"""Chaos suite: every recovery path under deterministic injected faults.
+
+The acceptance bar for the resilience layer, end to end:
+
+- a collector killed mid-run (``SIGKILL``, no cleanup) and restarted
+  from ``--state-dir`` — with monitors reconnecting through
+  :class:`ResilientMonitorClient` — answers ``query`` field-for-field
+  identically to an uninterrupted run and to the offline ``merge_runs``
+  baseline;
+- a ``parallel_ingest`` fleet that loses a worker mid-slot under
+  ``on_worker_crash="restart"`` produces byte-identical slot summaries
+  to a crash-free fleet;
+- severed/corrupted/black-holed client sockets either recover to the
+  exact uninterrupted answers or degrade to the exact partial ones.
+
+Every fault here comes from a seeded :class:`FaultPlan` — nothing is
+timing-dependent beyond "the collector noticed the socket died".
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    FaultPlan,
+    ResilientMonitorClient,
+    parallel_ingest,
+)
+from repro.distributed.service import (
+    CollectorService,
+    MonitorClient,
+    ServiceHandle,
+    publish_summaries,
+    query_service,
+)
+from repro.errors import (
+    ClassificationError,
+    ReproError,
+    ServiceProtocolError,
+)
+from repro.pipeline.sources import ArrayPacketSource
+from repro.routing.lpm import FixedLengthResolver
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+MONITORS = ("mon-a", "mon-b", "mon-c")  # matches the chaos_runs fixture
+
+
+def assert_matches_offline(report, expected):
+    """Field-for-field equality on the merged answers."""
+    assert report["slots"] == expected["slots"]
+    assert report["elephants_by_slot"] == expected["elephants_by_slot"]
+    assert report["elephants"] == expected["elephants_by_slot"][-1]
+    assert report["residual_fraction"] == pytest.approx(
+        expected["residual_fraction"]
+    )
+
+
+def stream_round_robin(clients, monitor_runs, lo=0, hi=None):
+    limit = max(len(run) for run in monitor_runs)
+    for cell in range(lo, limit if hi is None else hi):
+        for run, client in zip(monitor_runs, clients):
+            if cell < len(run):
+                client.publish(run[cell])
+                client.drain()
+
+
+@pytest.fixture()
+def live():
+    with ServiceHandle(CollectorService()) as handle:
+        yield handle
+
+
+class TestResilientClient:
+    def resilient_fleet(self, address, faults=None):
+        return [
+            ResilientMonitorClient(
+                address,
+                name,
+                retries=20,
+                backoff=0.02,
+                backoff_cap=0.2,
+                faults=faults,
+            )
+            for name in MONITORS
+        ]
+
+    def test_severed_connection_redials_to_equality(
+        self, live, chaos_runs, offline
+    ):
+        plan = FaultPlan.parse("sever:mon-b:4")
+        clients = self.resilient_fleet(live.address, faults=plan)
+        stream_round_robin(clients, chaos_runs)
+        for client in clients:
+            client.close()
+        assert clients[1].reconnects >= 1
+        assert clients[0].reconnects == 0
+        assert_matches_offline(
+            query_service(live.address), offline(chaos_runs)
+        )
+
+    def test_corrupted_frame_redials_to_equality(
+        self, live, chaos_runs, offline
+    ):
+        # frame 2 (the second summary) reaches the collector corrupted;
+        # its decoder kills the connection, the client redials and
+        # replays the unacked record
+        plan = FaultPlan.parse("corrupt:mon-a:2")
+        clients = self.resilient_fleet(live.address, faults=plan)
+        stream_round_robin(clients, chaos_runs)
+        for client in clients:
+            client.close()
+        assert clients[0].reconnects >= 1
+        assert_matches_offline(
+            query_service(live.address), offline(chaos_runs)
+        )
+
+    def test_blackholed_monitor_dies_and_run_degrades(
+        self, live, chaos_runs, offline
+    ):
+        # after frame 4 every byte mon-c sends vanishes (hello on
+        # redial included): cells 0..2 are acked, then the client
+        # exhausts its retries — a monitor death the survivors ride out
+        plan = FaultPlan.parse("blackhole:mon-c:4")
+        survivors = [
+            ResilientMonitorClient(
+                live.address,
+                name,
+                retries=20,
+                backoff=0.02,
+                backoff_cap=0.2,
+            )
+            for name in MONITORS[:2]
+        ]
+        doomed = ResilientMonitorClient(
+            live.address,
+            "mon-c",
+            timeout=0.3,
+            retries=1,
+            backoff=0.02,
+            faults=plan,
+        )
+        clients = survivors + [doomed]
+        died_at = None
+        for cell in range(max(len(run) for run in chaos_runs)):
+            for run, client in zip(chaos_runs, clients):
+                if client is doomed and died_at is not None:
+                    continue
+                try:
+                    client.publish(run[cell])
+                    client.drain()
+                except OSError:
+                    assert client is doomed
+                    died_at = cell
+                    client.abort()
+        assert died_at == 3
+        # the collector notices the dropped socket and stops letting
+        # mon-c gate the frontier
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            report = query_service(live.address)
+            if not report["monitors"]["mon-c"]["connected"]:
+                break
+            time.sleep(0.02)
+        for client in survivors:
+            client.close()
+        assert_matches_offline(
+            query_service(live.address),
+            offline([chaos_runs[0], chaos_runs[1], chaos_runs[2][:3]]),
+        )
+
+    def test_handshake_failure_closes_the_socket(self, live, monkeypatch):
+        """Regression: a refused hello must not leak the socket."""
+        created = []
+        real = socket.create_connection
+
+        def tracking(*args, **kwargs):
+            sock = real(*args, **kwargs)
+            created.append(sock)
+            return sock
+
+        monkeypatch.setattr(socket, "create_connection", tracking)
+        holder = MonitorClient(live.address, "mon-a")
+        with pytest.raises(ServiceProtocolError, match="already"):
+            MonitorClient(live.address, "mon-a")
+        assert len(created) == 2
+        assert created[1].fileno() == -1  # the refused socket closed
+        holder.close()
+
+
+class TestDelayedAcks:
+    def test_delayed_acks_change_nothing_but_latency(
+        self, chaos_runs, offline
+    ):
+        plan = FaultPlan.parse("delay-ack:mon-a:0.01")
+        service = CollectorService(faults=plan)
+        with ServiceHandle(service) as handle:
+            begin = time.monotonic()
+            stats = publish_summaries(
+                handle.address, chaos_runs[0], monitor="mon-a"
+            )
+            elapsed = time.monotonic() - begin
+            assert stats["published"] == len(chaos_runs[0])
+            assert elapsed >= 0.01 * len(chaos_runs[0])
+            assert_matches_offline(
+                query_service(handle.address),
+                offline([chaos_runs[0]]),
+            )
+
+
+class TestCollectorRestart:
+    def test_in_process_restart_restores_and_resumes(
+        self, tmp_path, chaos_runs, offline
+    ):
+        state = tmp_path / "state"
+        with ServiceHandle(
+            CollectorService(state_dir=str(state))
+        ) as handle:
+            clients = [
+                MonitorClient(handle.address, name) for name in MONITORS
+            ]
+            stream_round_robin(clients, chaos_runs, hi=3)
+            for client in clients:
+                client.abort()  # die without BYE, like a real crash
+        # a second daemon picks the state up on a fresh port
+        with ServiceHandle(
+            CollectorService(state_dir=str(state))
+        ) as handle:
+            before = query_service(handle.address)
+            assert before["slots"] == 3
+            probe = MonitorClient(handle.address, "mon-a")
+            # the handshake already tells the monitor where to resume
+            assert probe.resume_cell == 3
+            probe.abort()
+            clients = [
+                ResilientMonitorClient(
+                    handle.address, name, retries=5, backoff=0.02
+                )
+                for name in MONITORS
+            ]
+            # replaying from cell 0 is harmless: sealed history is
+            # skipped client-side, the rest streams normally
+            stream_round_robin(clients, chaos_runs)
+            for client in clients:
+                client.close()
+            assert clients[0].skipped == 3
+            assert_matches_offline(
+                query_service(handle.address), offline(chaos_runs)
+            )
+
+
+def daemon_env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    current = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src if not current else src + os.pathsep + current
+    return env
+
+
+def start_daemon(listen, state_dir, port_file, extra=()):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "collect",
+            "--listen",
+            listen,
+            "--state-dir",
+            str(state_dir),
+            "--port-file",
+            str(port_file),
+            "--quiet",
+            *extra,
+        ],
+        env=daemon_env(),
+        cwd=str(REPO_ROOT),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+
+
+def wait_for_daemon(port_file, process, deadline=30.0):
+    """Wait until the port file names a connectable address."""
+    limit = time.monotonic() + deadline
+    while time.monotonic() < limit:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"daemon exited early: {process.stderr.read()!r}"
+            )
+        if port_file.exists():
+            host, _, port = port_file.read_text().strip().partition(":")
+            try:
+                socket.create_connection(
+                    (host, int(port)), timeout=0.2
+                ).close()
+                return host, int(port)
+            except OSError:
+                pass
+        time.sleep(0.05)
+    raise AssertionError("daemon never became reachable")
+
+
+class TestKillRestartAcceptance:
+    def test_sigkill_restart_equals_uninterrupted_run(
+        self, tmp_path, chaos_runs, offline
+    ):
+        # the uninterrupted answer: same summaries, no failures
+        with ServiceHandle(CollectorService()) as handle:
+            clients = [
+                MonitorClient(handle.address, name) for name in MONITORS
+            ]
+            stream_round_robin(clients, chaos_runs)
+            for client in clients:
+                client.close()
+            baseline = query_service(handle.address)
+
+        state = tmp_path / "state"
+        port_file = tmp_path / "collector.port"
+        daemon = start_daemon("127.0.0.1:0", state, port_file)
+        try:
+            address = wait_for_daemon(port_file, daemon)
+            clients = [
+                ResilientMonitorClient(
+                    address,
+                    name,
+                    retries=40,
+                    backoff=0.05,
+                    backoff_cap=0.5,
+                )
+                for name in MONITORS
+            ]
+            stream_round_robin(clients, chaos_runs, hi=3)
+            # no warning, no cleanup: the daemon is simply gone
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(timeout=10.0)
+            daemon = start_daemon(
+                f"{address[0]}:{address[1]}", state, port_file
+            )
+            assert wait_for_daemon(port_file, daemon) == address
+            # re-attach the whole fleet before resuming: the frontier
+            # gates on attached monitors only, so publishing through
+            # the first redialer alone would seal cell 3 without its
+            # peers (whose copies would then land as stale)
+            assert [c.ensure_connected() for c in clients] == [3, 3, 3]
+            stream_round_robin(clients, chaos_runs, lo=3)
+            for client in clients:
+                client.close()
+            assert sum(c.reconnects for c in clients) >= len(clients)
+            report = query_service(address)
+        finally:
+            daemon.send_signal(signal.SIGTERM)
+            daemon.wait(timeout=10.0)
+        assert_matches_offline(report, offline(chaos_runs))
+        # ...and field-for-field against the uninterrupted service
+        assert report["elephants_by_slot"] == baseline["elephants_by_slot"]
+        assert report["elephants"] == baseline["elephants"]
+        assert report["slots"] == baseline["slots"]
+        assert report["residual_fraction"] == pytest.approx(
+            baseline["residual_fraction"]
+        )
+
+    def test_port_file_is_atomic_and_removed_on_exit(
+        self, tmp_path, chaos_runs
+    ):
+        state = tmp_path / "state"
+        port_file = tmp_path / "collector.port"
+        daemon = start_daemon(
+            "127.0.0.1:0", state, port_file, extra=("--once", "1")
+        )
+        try:
+            address = wait_for_daemon(port_file, daemon)
+            # written via temp + rename: no half-written sibling left
+            assert not (tmp_path / "collector.port.tmp").exists()
+            host, _, port = port_file.read_text().strip().partition(":")
+            assert (host, int(port)) == address
+            publish_summaries(address, chaos_runs[0], monitor="mon-a")
+            daemon.wait(timeout=15.0)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10.0)
+        assert daemon.returncode == 0
+        assert not port_file.exists()
+
+    def test_sigint_removes_the_port_file(self, tmp_path):
+        state = tmp_path / "state"
+        port_file = tmp_path / "collector.port"
+        daemon = start_daemon("127.0.0.1:0", state, port_file)
+        try:
+            wait_for_daemon(port_file, daemon)
+            daemon.send_signal(signal.SIGINT)
+            daemon.wait(timeout=10.0)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10.0)
+        assert daemon.returncode == 0
+        assert not port_file.exists()
+
+
+SLOT_SECONDS = 60.0
+
+
+def fleet_run(workers=2, seed=9, **kwargs):
+    rng = np.random.default_rng(seed)
+    packets = 4000
+    stamps = np.sort(rng.uniform(0.0, 240.0, packets))
+    flow = rng.integers(0, 30, packets)
+    dests = (10 << 24) | (flow << 16) | 5
+    sizes = (rng.pareto(1.3, packets) * 250 + 64).clip(64, 1500)
+    source = ArrayPacketSource(
+        stamps, dests, sizes.astype(np.int64), chunk_packets=600
+    )
+    return parallel_ingest(
+        source,
+        FixedLengthResolver(16),
+        workers=workers,
+        slot_seconds=SLOT_SECONDS,
+        **kwargs,
+    )
+
+
+def run_bytes(result):
+    return [
+        [summary.to_bytes() for summary in run] for run in result.runs
+    ]
+
+
+def assert_no_orphans():
+    import multiprocessing
+
+    assert multiprocessing.active_children() == []
+
+
+class TestSupervisedWorkers:
+    def test_midslot_restart_is_byte_identical(self):
+        baseline = fleet_run()
+        crashed = fleet_run(
+            on_worker_crash="restart",
+            faults=FaultPlan.parse("worker:0:midslot"),
+        )
+        assert crashed.restarts == {0: 1}
+        assert crashed.degraded == []
+        assert run_bytes(crashed) == run_bytes(baseline)
+
+    def test_hard_crash_restart_is_byte_identical(self):
+        baseline = fleet_run()
+        crashed = fleet_run(
+            on_worker_crash="restart",
+            faults=FaultPlan.parse("worker:1:hard"),
+        )
+        assert crashed.restarts == {1: 1}
+        assert run_bytes(crashed) == run_bytes(baseline)
+
+    def test_restart_under_spawn_start_method(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_START_METHOD", "spawn")
+        baseline = fleet_run()
+        crashed = fleet_run(
+            on_worker_crash="restart",
+            faults=FaultPlan.parse("worker:0:midslot"),
+        )
+        assert crashed.restarts == {0: 1}
+        assert run_bytes(crashed) == run_bytes(baseline)
+
+    def test_degrade_drops_the_shard_and_completes(self):
+        baseline = fleet_run()
+        degraded = fleet_run(
+            on_worker_crash="degrade",
+            faults=FaultPlan.parse("worker:1:hard"),
+        )
+        assert degraded.degraded == [1]
+        assert degraded.restarts == {}
+        # the surviving shard is untouched by its peer's death
+        assert run_bytes(degraded)[0] == run_bytes(baseline)[0]
+        # the merged classification still runs over what survived
+        assert list(degraded.collector().events())
+
+    def test_restart_budget_exhaustion_aborts(self, monkeypatch):
+        # the legacy env directive hits every incarnation: a crash loop
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "worker:0")
+        with pytest.raises(ReproError, match="restart budget"):
+            fleet_run(on_worker_crash="restart", max_worker_restarts=2)
+        assert_no_orphans()
+
+    def test_reader_crash_always_aborts(self):
+        with pytest.raises(ReproError, match="reader"):
+            fleet_run(
+                on_worker_crash="restart",
+                faults=FaultPlan.parse("reader"),
+            )
+        assert_no_orphans()
+
+    def test_unknown_policy_is_refused(self):
+        with pytest.raises(ClassificationError, match="on_worker_crash"):
+            fleet_run(on_worker_crash="panic")

@@ -756,6 +756,31 @@ class TestCollectorServiceCli:
         assert summary["stale"] == 0
         assert summary["skipped"] == 0
 
+    def test_stream_connect_severed_fails_fast_without_retry(
+        self, stream_capture, live, capsys, monkeypatch
+    ):
+        """Without --retry a dead collector socket is a clean error.
+
+        A severed connection mid-publish must surface as the CLI's
+        `error:` + exit 2 contract, not a ConnectionError traceback.
+        """
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "sever:mon-cli:2")
+        code = main(
+            [
+                "stream",
+                stream_capture["npz"],
+                "--quiet",
+                "--connect",
+                self._address(live),
+                "--monitor",
+                "mon-cli",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "collector connection lost" in err
+
     def test_query_table_after_stream(self, stream_capture, live, capsys):
         address = self._address(live)
         code = main(
